@@ -1,0 +1,197 @@
+// Command dampi verifies a named benchmark workload over the space of MPI
+// non-determinism, printing the coverage report — the command-line face of
+// the library.
+//
+// Usage:
+//
+//	dampi -list
+//	dampi -workload matmul -procs 6 -k 1
+//	dampi -workload adlb -procs 12 -k 0 -max 5000
+//	dampi -workload 104.milc -procs 64 -leaks
+//	dampi -workload matmul -procs 4 -baseline isp
+//
+// Erroneous interleavings are printed with their epoch-decisions reproducer;
+// pass -decisions FILE to save the first reproducer as a JSON decisions
+// file (replayable by any DAMPI run of the same program).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dampi/internal/isp"
+	"dampi/verify"
+	"dampi/workloads"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available workloads")
+		name       = flag.String("workload", "", "workload to verify (see -list)")
+		procs      = flag.Int("procs", 4, "number of MPI ranks")
+		k          = flag.Int("k", verify.Unbounded, "bounded-mixing k (-1 = full coverage)")
+		maxN       = flag.Int("max", 10000, "interleaving cap (0 = unlimited)")
+		clock      = flag.String("clock", "lamport", "clock mode: lamport or vector")
+		leaks      = flag.Bool("leaks", true, "run communicator/request leak checks")
+		stats      = flag.Bool("stats", false, "print MPI operation statistics")
+		stopErr    = flag.Bool("stop-on-error", false, "stop at the first failing interleaving")
+		baseline   = flag.String("baseline", "dampi", "verifier: dampi or isp")
+		decFile    = flag.String("decisions", "", "save the first error's reproducer decisions to FILE")
+		traceFile  = flag.String("trace", "", "save the first run's potential-matches trace to FILE")
+		replayFile = flag.String("replay", "", "replay a saved decisions FILE once instead of exploring")
+		dual       = flag.Bool("dual", false, "enable the dual-Lamport-clock §V extension")
+		transport  = flag.String("transport", "separate", "piggyback mechanism: separate or inband")
+		autoloop   = flag.Int("autoloop", 0, "auto loop detection threshold (0 = off)")
+		scale      = flag.Int("scale", 100, "traffic divisor for proxy workloads")
+		iters      = flag.Int("iters", 4, "outer iterations for proxy workloads")
+		verbose    = flag.Bool("v", false, "print each interleaving as it is explored")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			wc := " "
+			if w.HasWildcards {
+				wc = "*"
+			}
+			fmt.Printf("%s %-14s [%s] %s\n", wc, w.Name, w.Suite, w.Description)
+		}
+		fmt.Println("\n('*' marks workloads with wildcard non-determinism)")
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	wl, err := workloads.Get(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *procs < wl.MinProcs {
+		fatal(fmt.Errorf("%s needs at least %d procs", wl.Name, wl.MinProcs))
+	}
+	prog := wl.Program(workloads.Params{Procs: *procs, Scale: *scale, Iters: *iters})
+
+	switch *baseline {
+	case "isp":
+		rep, err := isp.NewExplorer(isp.Config{
+			Procs:            *procs,
+			Program:          prog,
+			MaxInterleavings: *maxN,
+			StopOnFirstError: *stopErr,
+		}).Explore()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ISP: interleavings=%d errors=%d deadlocks=%d capped=%v\n",
+			rep.Interleavings, len(rep.Errors), rep.Deadlocks, rep.Capped)
+		for _, e := range rep.Errors {
+			fmt.Printf("  %v: %v\n", e, e.Err)
+		}
+		if rep.Errored() {
+			os.Exit(1)
+		}
+		return
+	case "dampi":
+	default:
+		fatal(fmt.Errorf("unknown baseline %q (dampi or isp)", *baseline))
+	}
+
+	cm := verify.Lamport
+	if *clock == "vector" {
+		cm = verify.VectorClock
+	} else if *clock != "lamport" {
+		fatal(fmt.Errorf("unknown clock mode %q", *clock))
+	}
+
+	if *replayFile != "" {
+		d, err := verify.LoadDecisions(*replayFile)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := verify.Replay(*procs, prog, d)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replay: %v\n", res)
+		if res.Err != nil {
+			fmt.Printf("  error: %v\n", res.Err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tp := verify.Separate
+	if *transport == "inband" {
+		tp = verify.Inband
+	} else if *transport != "separate" {
+		fatal(fmt.Errorf("unknown transport %q", *transport))
+	}
+
+	cfg := verify.Config{
+		Procs:             *procs,
+		Clock:             cm,
+		DualClock:         *dual,
+		Transport:         tp,
+		AutoLoopThreshold: *autoloop,
+		MixingBound:       *k,
+		MaxInterleavings:  *maxN,
+		StopOnFirstError:  *stopErr,
+		CheckLeaks:        *leaks,
+		CollectStats:      *stats,
+	}
+	if *verbose {
+		cfg.OnInterleaving = func(res *verify.InterleavingResult) {
+			fmt.Printf("  %v\n", res)
+		}
+	}
+
+	res, err := verify.Run(cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("DAMPI: %s\n", res.Summary())
+	for _, u := range res.Unsafe {
+		fmt.Printf("  warning: %v\n", u)
+	}
+	if res.Leaks != nil {
+		for _, l := range res.Leaks.CommLeaks {
+			fmt.Printf("  C-leak: %s\n", l)
+		}
+		for _, l := range res.Leaks.RequestLeaks {
+			fmt.Printf("  R-leak: %s\n", l)
+		}
+	}
+	if *stats && res.Stats != nil {
+		t := res.Stats.Totals()
+		fmt.Printf("  ops: %v (per proc: all=%d sendrecv=%d coll=%d wait=%d)\n",
+			t, t.AllPerProc(), t.SendRecvPerProc(), t.CollPerProc(), t.WaitPerProc())
+	}
+	for _, e := range res.Errors {
+		fmt.Printf("  error in interleaving #%d: %v\n", e.Index, e.Err)
+		fmt.Printf("    reproducer: %v\n", e.Decisions)
+	}
+	if *traceFile != "" && res.FirstTrace != nil {
+		if err := res.FirstTrace.Save(*traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  trace saved to %s (%s)\n", *traceFile, res.FirstTrace.Summary())
+	}
+	if *decFile != "" && len(res.Errors) > 0 {
+		if err := res.Errors[0].Decisions.Save(*decFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  reproducer saved to %s\n", *decFile)
+	}
+	if res.Errored() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dampi: %v\n", err)
+	os.Exit(1)
+}

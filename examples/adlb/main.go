@@ -1,0 +1,57 @@
+// ADLB: verifying a work-sharing application (Figure 9).
+//
+// The mini-ADLB library's servers receive every Put/Get/Done request with
+// MPI_ANY_SOURCE, so its interleaving space explodes with worker count —
+// the paper's motivating example for bounded mixing ("verifying ADLB for a
+// dozen processes is already impractical" at full coverage). This example
+// runs the work-sharing driver under k = 0, 1, 2 and shows the explored
+// interleavings growing with both k and world size, while every explored
+// schedule keeps the application correct.
+//
+//	go run ./examples/adlb [-maxprocs 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dampi/verify"
+	"dampi/workloads/adlb"
+)
+
+func main() {
+	maxProcs := flag.Int("maxprocs", 10, "largest world size to verify")
+	cap := flag.Int("cap", 3000, "interleaving cap")
+	flag.Parse()
+
+	fmt.Println("Verifying the mini-ADLB work-sharing driver (1 server, rest workers)")
+	fmt.Printf("\n%6s %12s %12s %12s\n", "procs", "k=0", "k=1", "k=2")
+	for procs := 4; procs <= *maxProcs; procs += 2 {
+		fmt.Printf("%6d", procs)
+		for _, k := range []int{0, 1, 2} {
+			start := time.Now()
+			res, err := verify.Run(verify.Config{
+				Procs:            procs,
+				MixingBound:      k,
+				MaxInterleavings: *cap,
+			}, adlb.Program(adlb.DriverConfig{}))
+			if err != nil {
+				log.Fatalf("verify: %v", err)
+			}
+			if res.Errored() {
+				log.Fatalf("procs=%d k=%d: %v", procs, k, res.Errors[0].Err)
+			}
+			cell := fmt.Sprintf("%d", res.Interleavings)
+			if res.Capped {
+				cell += "+"
+			}
+			_ = start
+			fmt.Printf(" %12s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nEvery explored interleaving completed the work-sharing protocol correctly.")
+	fmt.Println("('+' marks runs stopped at the cap — the space is still growing)")
+}

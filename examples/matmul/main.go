@@ -1,0 +1,66 @@
+// Matmul: bounded mixing on the paper's master/slave workload (Figure 8).
+//
+// The master hands out row blocks of A and collects results with wildcard
+// receives: N wildcard epochs with up to P matching slaves each — an
+// exponential interleaving space. This example verifies the computation
+// under increasing mixing bounds, showing the coverage/cost dial, and then
+// marks the collection loop with Pcontrol (loop iteration abstraction) to
+// collapse the space entirely.
+//
+//	go run ./examples/matmul [-procs 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dampi/verify"
+	"dampi/workloads/matmul"
+)
+
+func main() {
+	procs := flag.Int("procs", 5, "world size (1 master + procs-1 slaves)")
+	cap := flag.Int("cap", 2000, "interleaving cap")
+	flag.Parse()
+
+	fmt.Printf("Verifying %d-rank master/slave matmul (every interleaving re-checks C = A×B)\n\n", *procs)
+	fmt.Printf("%12s %14s %10s\n", "mixing k", "interleavings", "time")
+	for _, k := range []int{0, 1, 2, verify.Unbounded} {
+		start := time.Now()
+		res, err := verify.Run(verify.Config{
+			Procs:            *procs,
+			MixingBound:      k,
+			MaxInterleavings: *cap,
+		}, matmul.Program(matmul.Config{}))
+		if err != nil {
+			log.Fatalf("verify: %v", err)
+		}
+		if res.Errored() {
+			log.Fatalf("k=%d: an interleaving broke the product: %v", k, res.Errors[0].Err)
+		}
+		label := fmt.Sprintf("k=%d", k)
+		if k == verify.Unbounded {
+			label = "no bounds"
+		}
+		count := fmt.Sprintf("%d", res.Interleavings)
+		if res.Capped {
+			count += "+"
+		}
+		fmt.Printf("%12s %14s %10v\n", label, count, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Loop iteration abstraction: tell DAMPI the collection loop's matches
+	// need no exploration. One run covers the (declared-equivalent) space.
+	res, err := verify.Run(verify.Config{
+		Procs:       *procs,
+		MixingBound: verify.Unbounded,
+	}, matmul.Program(matmul.Config{MarkLoop: true}))
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Printf("%12s %14d %10s   (Pcontrol loop markers)\n", "loop-abs", res.Interleavings, "-")
+	fmt.Printf("\nAll interleavings produced the correct product; R* = %d wildcard receives analyzed.\n",
+		res.WildcardsAnalyzed)
+}

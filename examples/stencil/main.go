@@ -1,0 +1,144 @@
+// Stencil: verifying an ordinary application end-to-end.
+//
+// A 1-D heat-diffusion solver in the shape real MPI codes take: the world is
+// split into row groups with CommSplit, halo cells are exchanged with
+// Sendrecv, convergence is decided by Allreduce — and a monitor rank
+// collects per-group progress reports with wildcard receives (the common
+// "logging/steering" pattern that quietly introduces non-determinism into
+// otherwise deterministic solvers).
+//
+// DAMPI explores every order in which the reports can arrive and re-checks
+// the numerical result in each one, proving the wildcard pattern is benign
+// here — and counts it in R*, so reviewers can see how much non-determinism
+// the "harmless logging" actually added.
+//
+//	go run ./examples/stencil [-procs 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"dampi/mpi"
+	"dampi/verify"
+)
+
+const (
+	cellsPerRank = 8
+	steps        = 5
+	tagHaloLeft  = 1
+	tagHaloRight = 2
+	tagReport    = 3
+)
+
+// solver is the MPI program: rank 0 monitors; the rest solve.
+func solver(p *mpi.Proc) error {
+	world := p.CommWorld()
+	isMonitor := p.Rank() == 0
+
+	// Split the solvers away from the monitor.
+	color := 1
+	if isMonitor {
+		color = 0
+	}
+	grid, err := p.CommSplit(world, color, p.Rank())
+	if err != nil {
+		return err
+	}
+	defer p.CommFree(grid)
+
+	if isMonitor {
+		// One report per solver per step, in whatever order they arrive.
+		for i := 0; i < (world.Size()-1)*steps; i++ {
+			data, st, err := p.Recv(mpi.AnySource, tagReport, world)
+			if err != nil {
+				return err
+			}
+			vals := mpi.DecodeFloat64(data)
+			if math.IsNaN(vals[0]) || vals[0] < 0 {
+				return fmt.Errorf("monitor: bad residual %v from rank %d", vals[0], st.Source)
+			}
+		}
+		return nil
+	}
+
+	me, n := grid.Rank(), grid.Size()
+	// Initial condition: a hot left edge.
+	u := make([]float64, cellsPerRank+2) // +2 halo cells
+	if me == 0 {
+		u[1] = 100
+	}
+	for step := 0; step < steps; step++ {
+		// Halo exchange with both neighbours via Sendrecv.
+		if me > 0 {
+			data, _, err := p.Sendrecv(me-1, tagHaloLeft, mpi.EncodeFloat64(u[1]), me-1, tagHaloRight, grid)
+			if err != nil {
+				return err
+			}
+			u[0] = mpi.DecodeFloat64(data)[0]
+		}
+		if me < n-1 {
+			data, _, err := p.Sendrecv(me+1, tagHaloRight, mpi.EncodeFloat64(u[cellsPerRank]), me+1, tagHaloLeft, grid)
+			if err != nil {
+				return err
+			}
+			u[cellsPerRank+1] = mpi.DecodeFloat64(data)[0]
+		}
+		// Jacobi update.
+		next := make([]float64, len(u))
+		copy(next, u)
+		residual := 0.0
+		for i := 1; i <= cellsPerRank; i++ {
+			next[i] = u[i] + 0.25*(u[i-1]-2*u[i]+u[i+1])
+			residual += math.Abs(next[i] - u[i])
+		}
+		if me == 0 {
+			next[1] = 100 // Dirichlet boundary
+		}
+		u = next
+		// Global residual (the deterministic collective part)...
+		total, err := p.Allreduce(grid, mpi.EncodeFloat64(residual), mpi.SumFloat64)
+		if err != nil {
+			return err
+		}
+		// ...and the non-deterministic part: report progress to the monitor.
+		if err := p.Send(0, tagReport, total, world); err != nil {
+			return err
+		}
+	}
+	// Invariant: heat is conserved except at the boundaries, and every cell
+	// stays within [0, 100]. Any interleaving that corrupted state fails.
+	for i := 1; i <= cellsPerRank; i++ {
+		if u[i] < -1e-9 || u[i] > 100+1e-9 {
+			return fmt.Errorf("solver %d: cell %d out of range: %v", me, i, u[i])
+		}
+	}
+	return nil
+}
+
+func main() {
+	procs := flag.Int("procs", 6, "world size (1 monitor + procs-1 solvers)")
+	flag.Parse()
+
+	fmt.Printf("Verifying a %d-rank heat solver (CommSplit + Sendrecv + Allreduce + wildcard monitoring)\n", *procs)
+	res, err := verify.Run(verify.Config{
+		Procs:            *procs,
+		MixingBound:      1, // reports in different steps don't interact
+		MaxInterleavings: 3000,
+		CheckLeaks:       true,
+		CollectStats:     true,
+	}, solver)
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Printf("  %s\n", res.Summary())
+	if res.Errored() {
+		log.Fatalf("an interleaving broke the solver: %v", res.Errors[0].Err)
+	}
+	t := res.Stats.Totals()
+	fmt.Printf("  ops: sendrecv=%d coll=%d wait=%d — R* = %d wildcard receives from the monitor pattern\n",
+		t.SendRecv, t.Coll, t.Wait, res.WildcardsAnalyzed)
+	fmt.Println("  every explored report ordering preserved the numerical invariants")
+}

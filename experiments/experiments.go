@@ -1,0 +1,263 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III): Figure 5 (ParMETIS: DAMPI vs ISP), Table I (ParMETIS
+// operation statistics), Table II (DAMPI overhead and local checks on the
+// benchmark suite), Figure 6 (matmul: time to explore interleavings),
+// Figure 8 (matmul under bounded mixing) and Figure 9 (ADLB under bounded
+// mixing). The cmd/experiments binary prints them; the repository-root
+// benchmarks time them.
+//
+// Absolute numbers differ from the paper — the substrate is an in-process
+// simulator, not an 800-node InfiniBand cluster — but each experiment
+// preserves the paper's shape: who wins, how costs grow with scale, and how
+// the bounding heuristics trade coverage for tractability.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dampi/internal/isp"
+	"dampi/internal/trace"
+	"dampi/mpi"
+	"dampi/verify"
+	"dampi/workloads"
+	"dampi/workloads/adlb"
+	"dampi/workloads/matmul"
+	"dampi/workloads/parmetis"
+)
+
+// Fig5Row is one point of Figure 5: wall-clock time to verify the (fully
+// deterministic) ParMETIS proxy under each tool.
+type Fig5Row struct {
+	Procs  int
+	Native time.Duration
+	DAMPI  time.Duration
+	ISP    time.Duration
+}
+
+// Fig5 runs the ParMETIS proxy under no tool, DAMPI, and ISP for each world
+// size. ParMETIS has no wildcards, so each verification is exactly one run —
+// Figure 5 measures pure instrumentation architecture overhead.
+func Fig5(procSizes []int, scale int) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, procs := range procSizes {
+		prog := parmetis.Program(parmetis.Config{Scale: scale, LeakComm: false})
+
+		start := time.Now()
+		w := mpi.NewWorld(mpi.Config{Procs: procs})
+		if err := w.Run(prog); err != nil {
+			return nil, fmt.Errorf("fig5 native p=%d: %w", procs, err)
+		}
+		native := time.Since(start)
+
+		start = time.Now()
+		res, err := verify.Run(verify.Config{Procs: procs, MaxInterleavings: 1}, prog)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 dampi p=%d: %w", procs, err)
+		}
+		if res.Errored() {
+			return nil, fmt.Errorf("fig5 dampi p=%d: %v", procs, res.Errors[0].Err)
+		}
+		dampiT := time.Since(start)
+
+		start = time.Now()
+		rep, err := isp.NewExplorer(isp.Config{Procs: procs, Program: prog, MaxInterleavings: 1}).Explore()
+		if err != nil {
+			return nil, fmt.Errorf("fig5 isp p=%d: %w", procs, err)
+		}
+		if rep.Errored() {
+			return nil, fmt.Errorf("fig5 isp p=%d: %v", procs, rep.Errors[0].Err)
+		}
+		ispT := time.Since(start)
+
+		rows = append(rows, Fig5Row{Procs: procs, Native: native, DAMPI: dampiT, ISP: ispT})
+	}
+	return rows, nil
+}
+
+// Table1Row is one column of Table I: the ParMETIS proxy's MPI operation
+// statistics at one world size.
+type Table1Row struct {
+	Procs  int
+	Totals trace.Totals
+	// ScaledBy is the divisor applied to the paper-calibrated counts;
+	// multiply the totals back by it to compare with Table I.
+	ScaledBy int
+}
+
+// Table1 measures the ParMETIS proxy's operation mix per world size.
+func Table1(procSizes []int, scale int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, procs := range procSizes {
+		stats := trace.NewStats(procs)
+		w := mpi.NewWorld(mpi.Config{Procs: procs, Hooks: stats.Hooks()})
+		if err := w.Run(parmetis.Program(parmetis.Config{Scale: scale})); err != nil {
+			return nil, fmt.Errorf("table1 p=%d: %w", procs, err)
+		}
+		rows = append(rows, Table1Row{Procs: procs, Totals: stats.Totals(), ScaledBy: scale})
+	}
+	return rows, nil
+}
+
+// Table2Row is one row of Table II: DAMPI's overhead and local error checks
+// on one benchmark.
+type Table2Row struct {
+	Name     string
+	Procs    int
+	Native   time.Duration
+	DAMPI    time.Duration
+	Slowdown float64
+	RStar    int // wildcard receives/probes analyzed
+	CLeak    bool
+	RLeak    bool
+}
+
+// Table2 runs every Table II benchmark natively and under one DAMPI
+// instrumented run, reporting slowdown, R*, and the leak checks. The paper
+// uses 1024 processes; any size works here (1024 included).
+func Table2(procs, iters, scale, reps int) ([]Table2Row, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []Table2Row
+	for _, wl := range workloads.TableII() {
+		prog := wl.Program(workloads.Params{Procs: procs, Iters: iters, Scale: scale})
+
+		native := time.Duration(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			w := mpi.NewWorld(mpi.Config{Procs: procs})
+			if err := w.Run(prog); err != nil {
+				return nil, fmt.Errorf("table2 %s native: %w", wl.Name, err)
+			}
+			if d := time.Since(start); d < native {
+				native = d
+			}
+		}
+
+		var res *verify.Result
+		instr := time.Duration(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			var err error
+			res, err = verify.Run(verify.Config{
+				Procs:            procs,
+				MaxInterleavings: 1,
+				CheckLeaks:       true,
+			}, prog)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s dampi: %w", wl.Name, err)
+			}
+			if res.Errored() {
+				return nil, fmt.Errorf("table2 %s dampi: %v", wl.Name, res.Errors[0].Err)
+			}
+			if d := time.Since(start); d < instr {
+				instr = d
+			}
+		}
+
+		rows = append(rows, Table2Row{
+			Name:     wl.Name,
+			Procs:    procs,
+			Native:   native,
+			DAMPI:    instr,
+			Slowdown: float64(instr) / float64(native),
+			RStar:    res.WildcardsAnalyzed,
+			CLeak:    res.Leaks.HasCommLeak(),
+			RLeak:    res.Leaks.HasRequestLeak(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig6Row is one point of Figure 6: time for each tool to explore a target
+// number of matmul interleavings.
+type Fig6Row struct {
+	Interleavings int
+	DAMPI         time.Duration
+	ISP           time.Duration
+}
+
+// Fig6 explores matmul interleavings up to each target count under DAMPI
+// and ISP, timing the whole exploration.
+func Fig6(targets []int, procs int) ([]Fig6Row, error) {
+	prog := matmul.Program(matmul.Config{})
+	var rows []Fig6Row
+	for _, n := range targets {
+		start := time.Now()
+		res, err := verify.Run(verify.Config{Procs: procs, MaxInterleavings: n}, prog)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 dampi n=%d: %w", n, err)
+		}
+		if res.Errored() {
+			return nil, fmt.Errorf("fig6 dampi n=%d: %v", n, res.Errors[0].Err)
+		}
+		dampiT := time.Since(start)
+
+		start = time.Now()
+		rep, err := isp.NewExplorer(isp.Config{Procs: procs, Program: prog, MaxInterleavings: n}).Explore()
+		if err != nil {
+			return nil, fmt.Errorf("fig6 isp n=%d: %w", n, err)
+		}
+		if rep.Errored() {
+			return nil, fmt.Errorf("fig6 isp n=%d: %v", n, rep.Errors[0].Err)
+		}
+		ispT := time.Since(start)
+
+		rows = append(rows, Fig6Row{Interleavings: n, DAMPI: dampiT, ISP: ispT})
+	}
+	return rows, nil
+}
+
+// MixingRow is one point of Figures 8 and 9: interleavings explored at one
+// world size for one mixing bound (K = verify.Unbounded for "No Bounds").
+type MixingRow struct {
+	Procs         int
+	K             int
+	Interleavings int
+	Capped        bool
+}
+
+// Fig8 counts matmul interleavings per mixing bound per world size.
+func Fig8(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
+	var rows []MixingRow
+	for _, procs := range procSizes {
+		for _, k := range ks {
+			res, err := verify.Run(verify.Config{
+				Procs:            procs,
+				MixingBound:      k,
+				MaxInterleavings: maxInterleavings,
+			}, matmul.Program(matmul.Config{}))
+			if err != nil {
+				return nil, fmt.Errorf("fig8 p=%d k=%d: %w", procs, k, err)
+			}
+			if res.Errored() {
+				return nil, fmt.Errorf("fig8 p=%d k=%d: %v", procs, k, res.Errors[0].Err)
+			}
+			rows = append(rows, MixingRow{Procs: procs, K: k, Interleavings: res.Interleavings, Capped: res.Capped})
+		}
+	}
+	return rows, nil
+}
+
+// Fig9 counts ADLB interleavings per mixing bound per world size.
+func Fig9(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
+	var rows []MixingRow
+	for _, procs := range procSizes {
+		for _, k := range ks {
+			res, err := verify.Run(verify.Config{
+				Procs:            procs,
+				MixingBound:      k,
+				MaxInterleavings: maxInterleavings,
+			}, adlb.Program(adlb.DriverConfig{}))
+			if err != nil {
+				return nil, fmt.Errorf("fig9 p=%d k=%d: %w", procs, k, err)
+			}
+			if res.Errored() {
+				return nil, fmt.Errorf("fig9 p=%d k=%d: %v", procs, k, res.Errors[0].Err)
+			}
+			rows = append(rows, MixingRow{Procs: procs, K: k, Interleavings: res.Interleavings, Capped: res.Capped})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,3 @@
+module dampi
+
+go 1.22

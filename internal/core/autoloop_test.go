@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"dampi/mpi"
+)
+
+// TestAutoLoopDetection: a long run of same-shaped wildcard receives (a
+// fixed-pattern loop) is automatically abstracted after the threshold, while
+// the first iterations are still explored.
+func TestAutoLoopDetection(t *testing.T) {
+	const rounds = 6
+	prog := fanInProgram(3, rounds) // 2 wildcard receives per round, same tag? No: tag = round.
+	// fanInProgram uses the round number as tag, so signatures differ per
+	// round; build a same-tag variant instead.
+	prog = func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for r := 0; r < rounds; r++ {
+			if p.Rank() == 0 {
+				for i := 1; i < 3; i++ {
+					if _, _, err := p.Recv(mpi.AnySource, 7, c); err != nil {
+						return err
+					}
+				}
+			} else {
+				if err := p.Send(0, 7, mpi.EncodeInt64(int64(p.Rank())), c); err != nil {
+					return err
+				}
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	full, err := NewExplorer(ExplorerConfig{
+		Procs: 3, Program: prog, MixingBound: Unbounded, MaxInterleavings: 5000,
+	}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := NewExplorer(ExplorerConfig{
+		Procs: 3, Program: prog, MixingBound: Unbounded, MaxInterleavings: 5000,
+		AutoLoopThreshold: 4, // explore the first two rounds (2 epochs each)
+	}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.AutoAbstracted == 0 {
+		t.Fatal("automatic loop detection never fired")
+	}
+	if auto.Interleavings >= full.Interleavings {
+		t.Errorf("auto-abstraction did not reduce exploration: %d vs %d",
+			auto.Interleavings, full.Interleavings)
+	}
+	// The first rounds are still explored: more than a single interleaving.
+	if auto.Interleavings < 4 {
+		t.Errorf("auto-abstraction suppressed the unabstracted prefix: %d interleavings", auto.Interleavings)
+	}
+	if full.Errored() || auto.Errored() {
+		t.Errorf("unexpected errors: %v %v", full.Errors, auto.Errors)
+	}
+}
+
+// TestAutoLoopDoesNotFireOnDistinctPatterns: epochs with differing
+// signatures (tags) never trip the detector.
+func TestAutoLoopDoesNotFireOnDistinctPatterns(t *testing.T) {
+	// Each round uses a distinct tag, and each round has exactly 2 epochs,
+	// so with threshold 2 no run of identical signatures ever exceeds it.
+	rep, err := NewExplorer(ExplorerConfig{
+		Procs: 3, Program: fanInProgram(3, 3), // tag differs per round
+		MixingBound: Unbounded, AutoLoopThreshold: 2, MaxInterleavings: 2000,
+	}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AutoAbstracted != 0 {
+		t.Errorf("detector fired on distinct-signature epochs: %d", rep.AutoAbstracted)
+	}
+	if rep.Interleavings != 8 { // (2!)^3
+		t.Errorf("interleavings = %d, want 8", rep.Interleavings)
+	}
+}

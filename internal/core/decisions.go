@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Decisions is the Epoch Decisions file of the paper: for each rank, the
+// forced source for each epoch (keyed by the rank's Lamport clock at the
+// epoch) and the rank's guided epoch — the largest forced clock value, past
+// which the rank reverts to SELF_RUN.
+type Decisions struct {
+	// ByRank maps rank -> epoch LC -> forced communicator-local source.
+	ByRank map[int]map[uint64]int `json:"by_rank"`
+}
+
+// NewDecisions returns an empty decision set (pure self-run).
+func NewDecisions() *Decisions {
+	return &Decisions{ByRank: make(map[int]map[uint64]int)}
+}
+
+// Empty reports whether no decisions are recorded.
+func (d *Decisions) Empty() bool {
+	return d == nil || len(d.ByRank) == 0
+}
+
+// Force records a forced source for an epoch.
+func (d *Decisions) Force(id EpochID, src int) {
+	m := d.ByRank[id.Rank]
+	if m == nil {
+		m = make(map[uint64]int)
+		d.ByRank[id.Rank] = m
+	}
+	m[id.LC] = src
+}
+
+// Lookup returns the forced source for an epoch, if any.
+func (d *Decisions) Lookup(rank int, lc uint64) (int, bool) {
+	if d == nil {
+		return 0, false
+	}
+	src, ok := d.ByRank[rank][lc]
+	return src, ok
+}
+
+// GuidedEpoch returns the rank's guided epoch: the largest forced LC, or
+// -1 if the rank has no forced decisions (SELF_RUN from the start).
+func (d *Decisions) GuidedEpoch(rank int) int64 {
+	if d == nil {
+		return -1
+	}
+	best := int64(-1)
+	for lc := range d.ByRank[rank] {
+		if int64(lc) > best {
+			best = int64(lc)
+		}
+	}
+	return best
+}
+
+// Len returns the total number of forced decisions.
+func (d *Decisions) Len() int {
+	n := 0
+	for _, m := range d.ByRank {
+		n += len(m)
+	}
+	return n
+}
+
+// Clone returns a deep copy (interleaving results keep their reproducer).
+func (d *Decisions) Clone() *Decisions {
+	out := NewDecisions()
+	for r, m := range d.ByRank {
+		nm := make(map[uint64]int, len(m))
+		for lc, src := range m {
+			nm[lc] = src
+		}
+		out.ByRank[r] = nm
+	}
+	return out
+}
+
+// String renders the decisions deterministically, for logs and reproducers.
+func (d *Decisions) String() string {
+	if d.Empty() {
+		return "{}"
+	}
+	ranks := make([]int, 0, len(d.ByRank))
+	for r := range d.ByRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	out := "{"
+	for i, r := range ranks {
+		if i > 0 {
+			out += " "
+		}
+		lcs := make([]uint64, 0, len(d.ByRank[r]))
+		for lc := range d.ByRank[r] {
+			lcs = append(lcs, lc)
+		}
+		sort.Slice(lcs, func(i, j int) bool { return lcs[i] < lcs[j] })
+		out += fmt.Sprintf("r%d:[", r)
+		for j, lc := range lcs {
+			if j > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%d→%d", lc, d.ByRank[r][lc])
+		}
+		out += "]"
+	}
+	return out + "}"
+}
+
+// decisionsJSON is the on-disk format: JSON map keys must be strings.
+type decisionsJSON struct {
+	ByRank map[string]map[string]int `json:"by_rank"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d *Decisions) MarshalJSON() ([]byte, error) {
+	out := decisionsJSON{ByRank: make(map[string]map[string]int, len(d.ByRank))}
+	for r, m := range d.ByRank {
+		nm := make(map[string]int, len(m))
+		for lc, src := range m {
+			nm[fmt.Sprintf("%d", lc)] = src
+		}
+		out.ByRank[fmt.Sprintf("%d", r)] = nm
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Decisions) UnmarshalJSON(b []byte) error {
+	var in decisionsJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	d.ByRank = make(map[int]map[uint64]int, len(in.ByRank))
+	for rs, m := range in.ByRank {
+		var r int
+		if _, err := fmt.Sscanf(rs, "%d", &r); err != nil {
+			return fmt.Errorf("core: bad rank key %q: %w", rs, err)
+		}
+		nm := make(map[uint64]int, len(m))
+		for lcs, src := range m {
+			var lc uint64
+			if _, err := fmt.Sscanf(lcs, "%d", &lc); err != nil {
+				return fmt.Errorf("core: bad lc key %q: %w", lcs, err)
+			}
+			nm[lc] = src
+		}
+		d.ByRank[r] = nm
+	}
+	return nil
+}
+
+// Save writes the decisions file (the artifact DAMPI's replays read).
+func (d *Decisions) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.Write(f)
+}
+
+// Write serializes the decisions as JSON.
+func (d *Decisions) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// LoadDecisions reads a decisions file.
+func LoadDecisions(path string) (*Decisions, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDecisions(f)
+}
+
+// ReadDecisions deserializes decisions from JSON.
+func ReadDecisions(r io.Reader) (*Decisions, error) {
+	d := NewDecisions()
+	if err := json.NewDecoder(r).Decode(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

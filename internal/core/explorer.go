@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dampi/internal/pnmpi"
+	"dampi/mpi"
+)
+
+// ExplorerConfig configures a coverage exploration.
+type ExplorerConfig struct {
+	// Procs is the world size.
+	Procs int
+	// Program is the MPI program under verification.
+	Program func(p *mpi.Proc) error
+	// Clock selects Lamport (default) or vector causality tracking.
+	Clock ClockMode
+	// DualClock enables the §V dual-Lamport-clock remedy (see ToolConfig).
+	DualClock bool
+	// Transport selects the piggyback mechanism (see ToolConfig).
+	Transport Transport
+	// MixingBound is the bounded-mixing k (§III-B2): 0 explores each epoch's
+	// alternates in isolation (P·N interleavings for N epochs of P senders);
+	// larger k lets up to k further decision levels below a flipped epoch
+	// mix; Unbounded performs the full depth-first search.
+	MixingBound int
+	// AutoLoopThreshold enables the paper's future-work automatic loop
+	// detection (§VI): when a rank's wildcard epochs repeat the same
+	// signature (communicator, tag, kind, alternate count) more than this
+	// many times consecutively, further repetitions are treated like
+	// Pcontrol-marked loop iterations and not explored. 0 disables (manual
+	// Pcontrol marking only).
+	AutoLoopThreshold int
+	// MaxInterleavings caps the number of replays (0 = unlimited). The
+	// report notes when the cap was hit.
+	MaxInterleavings int
+	// StopOnFirstError ends exploration at the first erroneous interleaving.
+	StopOnFirstError bool
+	// ExtraHooks are additional tool layers stacked below DAMPI's (leak
+	// checking, statistics). A fresh set is built per replay via the factory
+	// so per-run tools don't leak state across interleavings.
+	ExtraHooks func() []*mpi.Hooks
+	// OnInterleaving, if set, observes each replay's result as it happens.
+	OnInterleaving func(res *InterleavingResult)
+}
+
+// Unbounded disables bounded mixing (full depth-first coverage).
+const Unbounded = -1
+
+// InterleavingResult describes one explored interleaving.
+type InterleavingResult struct {
+	// Index is the interleaving number (0 = the initial self run).
+	Index int
+	// Decisions reproduces the interleaving when passed to a guided run.
+	Decisions *Decisions
+	// Err is the program/deadlock error, if the interleaving failed.
+	Err error
+	// Deadlock reports whether the failure was a deadlock.
+	Deadlock bool
+	// Mismatches lists forced decisions the replay could not enforce.
+	Mismatches []ForcedMismatch
+	// Epochs is the number of wildcard epochs observed in this run.
+	Epochs int
+}
+
+func (r *InterleavingResult) String() string {
+	state := "ok"
+	switch {
+	case r.Deadlock:
+		state = "deadlock"
+	case r.Err != nil:
+		state = "error"
+	}
+	return fmt.Sprintf("interleaving #%d: %s decisions=%v", r.Index, state, r.Decisions)
+}
+
+// Report summarizes a coverage exploration.
+type Report struct {
+	// AutoAbstracted counts epochs suppressed by automatic loop detection.
+	AutoAbstracted int
+	// Interleavings is the number of runs performed.
+	Interleavings int
+	// Errors holds every failed interleaving (with its reproducer).
+	Errors []*InterleavingResult
+	// Deadlocks counts interleavings that deadlocked.
+	Deadlocks int
+	// WildcardsAnalyzed is the wildcard epoch count of the initial run (the
+	// paper's R* measure).
+	WildcardsAnalyzed int
+	// DecisionPoints is the number of distinct epoch decision points that
+	// entered the DFS stack over the whole exploration.
+	DecisionPoints int
+	// Unsafe aggregates §V pattern detections from the initial run.
+	Unsafe []UnsafeReport
+	// Capped reports whether MaxInterleavings stopped the search early.
+	Capped bool
+	// FirstTrace is the initial self run's full epoch log.
+	FirstTrace *RunTrace
+}
+
+// Errored reports whether any interleaving failed.
+func (r *Report) Errored() bool { return len(r.Errors) > 0 }
+
+// frame is one epoch decision point on the DFS stack.
+type frame struct {
+	id         EpochID
+	chosen     int   // source forced when reproducing the prefix
+	alts       []int // unexplored alternate sources
+	explorable bool
+	budget     int // remaining mixing depth below a flip here (-1 = unbounded)
+}
+
+// Explorer is the paper's Schedule Generator: it owns the DFS stack over
+// epoch decisions and drives guided replays until the space (as bounded by
+// the heuristics) is covered.
+type Explorer struct {
+	cfg    ExplorerConfig
+	stack  []*frame
+	forced map[EpochID]*frame
+	report *Report
+}
+
+// NewExplorer creates an explorer for the given configuration.
+func NewExplorer(cfg ExplorerConfig) *Explorer {
+	if cfg.Procs < 1 {
+		panic("core: ExplorerConfig.Procs must be >= 1")
+	}
+	if cfg.Program == nil {
+		panic("core: ExplorerConfig.Program must be set")
+	}
+	return &Explorer{cfg: cfg, forced: make(map[EpochID]*frame), report: &Report{}}
+}
+
+// Explore runs the initial self-discovery run and then replays alternate
+// matches depth-first until coverage (under the configured bounds) is
+// complete, the interleaving cap is reached, or StopOnFirstError fires.
+func (e *Explorer) Explore() (*Report, error) {
+	trace, res, err := e.runOnce(nil)
+	if err != nil {
+		return nil, err
+	}
+	e.report.WildcardsAnalyzed = len(trace.Epochs)
+	e.report.Unsafe = trace.Unsafe
+	e.report.FirstTrace = trace
+	e.record(res)
+	if !(res.Deadlock) {
+		e.pushNew(trace, nil)
+	}
+	if e.cfg.StopOnFirstError && res.Err != nil {
+		return e.report, nil
+	}
+
+	for {
+		if e.cfg.MaxInterleavings > 0 && e.report.Interleavings >= e.cfg.MaxInterleavings {
+			if e.pendingWork() {
+				e.report.Capped = true
+			}
+			break
+		}
+		f := e.nextFlip()
+		if f == nil {
+			break
+		}
+		// Flip: take the next unexplored alternate at the deepest frame.
+		f.chosen = f.alts[0]
+		f.alts = f.alts[1:]
+		decisions := e.buildDecisions()
+		trace, res, err := e.runOnce(decisions)
+		if err != nil {
+			return nil, err
+		}
+		e.record(res)
+		if !res.Deadlock {
+			e.pushNew(trace, f)
+		}
+		if e.cfg.StopOnFirstError && res.Err != nil {
+			break
+		}
+	}
+	return e.report, nil
+}
+
+// nextFlip pops exhausted frames and returns the deepest flippable frame.
+func (e *Explorer) nextFlip() *frame {
+	for len(e.stack) > 0 {
+		top := e.stack[len(e.stack)-1]
+		if top.explorable && len(top.alts) > 0 {
+			return top
+		}
+		e.stack = e.stack[:len(e.stack)-1]
+		delete(e.forced, top.id)
+	}
+	return nil
+}
+
+// pendingWork reports whether unexplored alternates remain on the stack.
+func (e *Explorer) pendingWork() bool {
+	for _, f := range e.stack {
+		if f.explorable && len(f.alts) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildDecisions forces every stacked frame's current choice: the replay
+// reproduces the whole prefix up to (and including) the flipped frame.
+func (e *Explorer) buildDecisions() *Decisions {
+	d := NewDecisions()
+	for _, f := range e.stack {
+		if f.chosen >= 0 {
+			d.Force(f.id, f.chosen)
+		}
+	}
+	return d
+}
+
+// pushNew appends frames for epochs discovered beyond the forced prefix.
+// flipped is the frame whose flip produced this run (nil for the initial
+// run); bounded mixing derives the new frames' explorability from it.
+func (e *Explorer) pushNew(trace *RunTrace, flipped *frame) {
+	explorable := true
+	budget := Unbounded
+	if flipped == nil {
+		if e.cfg.MixingBound != Unbounded {
+			budget = e.cfg.MixingBound
+		}
+	} else {
+		if flipped.budget == 0 {
+			explorable = false
+		} else if flipped.budget > 0 {
+			budget = flipped.budget - 1
+		}
+	}
+	// Automatic loop detection (§VI future work): per rank, consecutive
+	// epochs with an identical signature — same communicator, tag and
+	// operation kind — beyond the threshold are treated as iterations of a
+	// fixed communication pattern and not explored.
+	type sig struct {
+		comm, tag int
+		kind      EpochKind
+	}
+	lastSig := make(map[int]sig)
+	runLen := make(map[int]int)
+	for _, rec := range trace.Epochs {
+		if rec.Chosen < 0 {
+			continue // never completed; nothing to reproduce or flip
+		}
+		autoLoop := false
+		if e.cfg.AutoLoopThreshold > 0 {
+			s := sig{comm: rec.CommID, tag: rec.Tag, kind: rec.Kind}
+			if lastSig[rec.Rank] == s {
+				runLen[rec.Rank]++
+			} else {
+				lastSig[rec.Rank] = s
+				runLen[rec.Rank] = 1
+			}
+			if runLen[rec.Rank] > e.cfg.AutoLoopThreshold {
+				autoLoop = true
+				e.report.AutoAbstracted++
+			}
+		}
+		id := rec.ID()
+		if _, ok := e.forced[id]; ok {
+			continue // part of the forced prefix
+		}
+		f := &frame{
+			id:         id,
+			chosen:     rec.Chosen,
+			alts:       append([]int(nil), rec.Alternates...),
+			explorable: explorable && !rec.InLoop && !autoLoop,
+			budget:     budget,
+		}
+		e.stack = append(e.stack, f)
+		e.forced[id] = f
+		e.report.DecisionPoints++
+	}
+}
+
+// record accounts one interleaving's outcome.
+func (e *Explorer) record(res *InterleavingResult) {
+	e.report.Interleavings++
+	if res.Err != nil {
+		e.report.Errors = append(e.report.Errors, res)
+	}
+	if res.Deadlock {
+		e.report.Deadlocks++
+	}
+	if e.cfg.OnInterleaving != nil {
+		e.cfg.OnInterleaving(res)
+	}
+}
+
+// runOnce executes one (self or guided) instrumented run.
+func (e *Explorer) runOnce(decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
+	tool := NewTool(ToolConfig{
+		Procs:     e.cfg.Procs,
+		Clock:     e.cfg.Clock,
+		DualClock: e.cfg.DualClock,
+		Transport: e.cfg.Transport,
+		Decisions: decisions,
+	})
+	layers := []*mpi.Hooks{tool.Hooks()}
+	if e.cfg.ExtraHooks != nil {
+		layers = append(layers, e.cfg.ExtraHooks()...)
+	}
+	world := mpi.NewWorld(mpi.Config{Procs: e.cfg.Procs, Hooks: pnmpi.Stack(layers...)})
+	runErr := world.Run(e.cfg.Program)
+	trace := tool.Trace()
+
+	res := &InterleavingResult{
+		Index:      e.report.Interleavings,
+		Err:        runErr,
+		Mismatches: trace.Mismatches,
+		Epochs:     len(trace.Epochs),
+	}
+	// The reproducer pins the forced prefix plus every observed choice, so
+	// replaying it deterministically reproduces this interleaving even when
+	// the interesting match happened by accident in a self run.
+	if decisions != nil {
+		res.Decisions = decisions.Clone()
+	} else {
+		res.Decisions = NewDecisions()
+	}
+	for _, rec := range trace.Epochs {
+		if rec.Chosen < 0 {
+			continue
+		}
+		if _, ok := res.Decisions.Lookup(rec.Rank, rec.LC); !ok {
+			res.Decisions.Force(rec.ID(), rec.Chosen)
+		}
+	}
+	var re *mpi.RunError
+	if errors.As(runErr, &re) && re.Deadlock != nil {
+		res.Deadlock = true
+	}
+	return trace, res, nil
+}
+
+// Replay performs a single guided run of the program under the given
+// decisions, without any exploration: the deterministic-reproducer entry
+// point.
+func Replay(cfg ExplorerConfig, d *Decisions) (*RunTrace, *InterleavingResult, error) {
+	return NewExplorer(cfg).runOnce(d)
+}

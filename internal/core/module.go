@@ -1,0 +1,670 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dampi/internal/clock"
+	"dampi/internal/piggyback"
+	"dampi/mpi"
+)
+
+// Transport selects the piggyback mechanism (paper §II-D).
+type Transport int
+
+// Piggyback transports.
+const (
+	// Separate sends one piggyback message per payload over a shadow
+	// communicator — the paper's implementation choice.
+	Separate Transport = iota
+	// Inband packs the clock into the payload itself ("data payload
+	// packing"): half the messages, at the cost of rewriting every payload
+	// and probes observing the packed length.
+	Inband
+)
+
+func (t Transport) String() string {
+	if t == Inband {
+		return "inband"
+	}
+	return "separate"
+}
+
+// Pcontrol protocol for the loop-iteration-abstraction heuristic (§III-B1):
+// wildcard epochs between LoopBegin and LoopEnd are recorded but their
+// alternates are not explored.
+const (
+	PcontrolLoopLevel = 1
+	LoopBegin         = "loop:begin"
+	LoopEnd           = "loop:end"
+)
+
+// ToolConfig configures one run's DAMPI instrumentation.
+type ToolConfig struct {
+	// Procs is the world size.
+	Procs int
+	// Clock selects Lamport (scalable, default) or vector (precise) mode.
+	Clock ClockMode
+	// DualClock enables the paper's §V remedy (sketched there as future
+	// work): each rank keeps a second Lamport clock for transmission. The
+	// receive clock advances when a wildcard receive is posted (keeping
+	// epoch identities); the transmit clock advances only when the
+	// receive's Wait/Test commits the match. Sends and collectives issued
+	// between post and completion therefore do not propagate the epoch's
+	// clock, closing the Fig. 10 omission pattern. Lamport mode only.
+	DualClock bool
+	// Transport selects the piggyback mechanism (§II-D): Separate (the
+	// paper's shadow-communicator scheme, default) or Inband payload packing.
+	Transport Transport
+	// Decisions guides the run; nil or empty means SELF_RUN everywhere.
+	Decisions *Decisions
+}
+
+// Tool is the per-run DAMPI instrumentation: Algorithm 1 of the paper. One
+// Tool instruments one World.Run; create a fresh Tool per replay and collect
+// its RunTrace afterwards.
+type Tool struct {
+	cfg   ToolConfig
+	order atomic.Uint64 // global decision commit order
+
+	mu     sync.Mutex
+	states []*rankState
+}
+
+// NewTool creates the instrumentation for a run.
+func NewTool(cfg ToolConfig) *Tool {
+	if cfg.Decisions == nil {
+		cfg.Decisions = NewDecisions()
+	}
+	return &Tool{cfg: cfg, states: make([]*rankState, cfg.Procs)}
+}
+
+// rankState is one rank's DAMPI module state. Accessed only from the owning
+// rank's goroutine (mirroring the paper's decentralized design); the Tool's
+// mutex guards only the states slice itself.
+type rankState struct {
+	p     *mpi.Proc
+	pb    *piggyback.Rank
+	comms map[int]mpi.Comm // live comms, for the in-band unmatched sweep
+
+	lc    clock.Lamport
+	lcOut clock.Lamport // dual-clock mode: the clock sends/collectives carry
+	dual  bool
+	vc    *clock.Vector // nil in Lamport mode
+
+	mode        Mode
+	guidedEpoch int64
+
+	epochs      []*epoch
+	recvPostSeq uint64
+	loopDepth   int
+	pendingND   int // §V monitor: posted, not-yet-completed wildcard receives
+
+	unsafe     []UnsafeReport
+	mismatches []ForcedMismatch
+}
+
+// epoch is the per-rank record of one wildcard decision point.
+type epoch struct {
+	lc      uint64
+	vcSnap  []uint64 // post-tick vector snapshot (vector mode)
+	commID  int
+	tag     int
+	postSeq uint64
+	kind    EpochKind
+	guided  bool
+	inLoop  bool
+	chosen  int
+	order   uint64
+	alts    []int
+	seen    map[int]bool // sources whose earliest candidate was evaluated
+}
+
+// recvInfo is the tool state attached to receive requests.
+type recvInfo struct {
+	epoch   *epoch       // non-nil iff the receive was posted wildcard
+	pbReq   *mpi.Request // posted piggyback receive (nil: deferred wildcard)
+	postSeq uint64
+}
+
+// sendInfo is the tool state attached to send requests.
+type sendInfo struct {
+	pbReq *mpi.Request
+}
+
+func (t *Tool) state(p *mpi.Proc) *rankState {
+	// Fast path: rank-local, no lock needed after Init stores it.
+	if st, ok := p.ToolState.(*rankState); ok {
+		return st
+	}
+	panic(fmt.Sprintf("core: rank %d used before Init", p.Rank()))
+}
+
+// clockVec returns the clock this rank transmits (piggybacks and
+// collectives). In dual-clock mode this is the transmit clock, which lags
+// the receive clock across posted-but-uncommitted wildcard epochs.
+func (st *rankState) clockVec() []uint64 {
+	if st.vc != nil {
+		return st.vc.Snapshot()
+	}
+	if st.dual {
+		return []uint64{st.lcOut.Value()}
+	}
+	return []uint64{st.lc.Value()}
+}
+
+func (st *rankState) mergeClock(c []uint64) {
+	if len(c) == 0 {
+		return
+	}
+	st.lc.Merge(c[0])
+	st.lcOut.Merge(c[0])
+	if st.vc != nil {
+		st.vc.Merge(c)
+	}
+}
+
+// commitEpoch synchronizes the transmit clock with a committed epoch's
+// event clock (§V: "synchronized when a Wait/Test is encountered").
+func (st *rankState) commitEpoch(e *epoch) {
+	if st.dual {
+		st.lcOut.Merge(e.lc + 1)
+	}
+}
+
+// late reports whether a message carrying clock mclock is a potential
+// alternate match for epoch e: the send must not be causally after the
+// epoch's decision event. In Lamport mode the epoch event's clock is
+// e.lc+1 (the epoch records the pre-tick value), so the test is
+// mclock <= e.lc; in vector mode we compare against the post-tick snapshot.
+func (st *rankState) late(e *epoch, mclock []uint64) bool {
+	if st.vc != nil {
+		return !clock.CausallyAfter(mclock, e.vcSnap)
+	}
+	if len(mclock) == 0 {
+		return false
+	}
+	return mclock[0] <= e.lc
+}
+
+func (t *Tool) abort(p *mpi.Proc, err error) {
+	p.Abort(fmt.Errorf("core: DAMPI tool failure on rank %d: %w", p.Rank(), err))
+}
+
+// Hooks returns the mpi tool layer implementing Algorithm 1.
+func (t *Tool) Hooks() *mpi.Hooks {
+	return &mpi.Hooks{
+		Init:           t.init,
+		PreSend:        t.preSend,
+		PostSend:       t.postSend,
+		PreRecv:        t.preRecv,
+		PostRecv:       t.postRecv,
+		Complete:       t.complete,
+		PreProbe:       t.preProbe,
+		PostProbe:      t.postProbe,
+		PreColl:        t.preColl,
+		CollClockIn:    t.collClockIn,
+		CollClockOut:   t.collClockOut,
+		PostCommCreate: t.postCommCreate,
+		PostCommFree:   t.postCommFree,
+		Pcontrol:       t.pcontrol,
+	}
+}
+
+func (t *Tool) init(p *mpi.Proc) {
+	st := &rankState{p: p, pb: piggyback.NewRank(p), comms: make(map[int]mpi.Comm)}
+	st.comms[p.CommWorld().ID()] = p.CommWorld()
+	if t.cfg.Clock == VectorClock {
+		st.vc = clock.NewVector(t.cfg.Procs, p.Rank())
+	} else if t.cfg.DualClock {
+		st.dual = true
+	}
+	// MPI_Init of Algorithm 1: presence of the decisions file selects
+	// GUIDED_RUN; the guided epoch is per-rank.
+	st.guidedEpoch = t.cfg.Decisions.GuidedEpoch(p.Rank())
+	if st.guidedEpoch >= 0 {
+		st.mode = GuidedRun
+	}
+	p.ToolState = st
+	t.mu.Lock()
+	t.states[p.Rank()] = st
+	t.mu.Unlock()
+	if t.cfg.Transport == Separate {
+		if err := st.pb.SetupWorld(); err != nil {
+			t.abort(p, err)
+		}
+	}
+}
+
+// --- point-to-point sends ---
+
+func (t *Tool) preSend(p *mpi.Proc, op *mpi.SendOp) {
+	st := t.state(p)
+	// §V monitor: a send transmits the clock while a wildcard receive is
+	// still pending — the omission pattern the single-clock algorithm cannot
+	// handle; alert. Dual-clock mode handles it, so no alert there.
+	if st.pendingND > 0 && !st.dual {
+		st.unsafe = append(st.unsafe, UnsafeReport{
+			Rank: p.Rank(), LC: st.lc.Value(),
+			Op: fmt.Sprintf("Send(to:%d,tag:%d)", op.Dest, op.Tag), Count: st.pendingND,
+		})
+	}
+	if t.cfg.Transport == Inband {
+		op.Data = piggyback.Pack(st.clockVec(), op.Data)
+	}
+}
+
+func (t *Tool) postSend(p *mpi.Proc, op *mpi.SendOp, req *mpi.Request) {
+	st := t.state(p)
+	if t.cfg.Transport == Inband {
+		req.ToolData = &sendInfo{} // clock already travelled in the payload
+		return
+	}
+	pbReq, err := st.pb.SendClock(op.Dest, op.Tag, op.Comm, st.clockVec())
+	if err != nil {
+		t.abort(p, err)
+		return
+	}
+	req.ToolData = &sendInfo{pbReq: pbReq}
+}
+
+// --- point-to-point receives (MPI_Irecv of Algorithm 1) ---
+
+func (t *Tool) preRecv(p *mpi.Proc, op *mpi.RecvOp) {
+	st := t.state(p)
+	if !op.WasAnySource {
+		return
+	}
+	// "if LCi > guided_epoch then mode <- SELF_RUN"
+	if st.mode == GuidedRun && int64(st.lc.Value()) > st.guidedEpoch {
+		st.mode = SelfRun
+	}
+	if st.mode == GuidedRun {
+		// GetSrcFromEpoch: determinize the wildcard receive. Epochs without
+		// a forced decision (e.g. loop regions) stay wildcard.
+		if src, ok := t.cfg.Decisions.Lookup(p.Rank(), st.lc.Value()); ok {
+			op.Src = src
+		}
+	}
+}
+
+func (t *Tool) postRecv(p *mpi.Proc, op *mpi.RecvOp, req *mpi.Request) {
+	st := t.state(p)
+	st.recvPostSeq++
+	info := &recvInfo{postSeq: st.recvPostSeq}
+	req.ToolData = info
+	if op.WasAnySource {
+		e := &epoch{
+			lc:      st.lc.Value(),
+			commID:  op.Comm.ID(),
+			tag:     op.Tag,
+			postSeq: st.recvPostSeq,
+			kind:    RecvEpoch,
+			guided:  st.mode == GuidedRun,
+			inLoop:  st.loopDepth > 0,
+			chosen:  -1,
+			seen:    make(map[int]bool),
+		}
+		st.epochs = append(st.epochs, e)
+		info.epoch = e
+		st.pendingND++
+		// RecordEpochData ... LCi++
+		st.lc.Tick()
+		if st.vc != nil {
+			st.vc.Tick()
+			e.vcSnap = st.vc.Snapshot() // post-tick: the epoch event's clock
+		}
+	}
+	if t.cfg.Transport == Separate && op.Src != mpi.AnySource {
+		// Deterministic (or determinized) receive: the piggyback receive can
+		// be posted immediately, paired by (src, tag) FIFO on the shadow comm.
+		pbReq, err := st.pb.PostRecvClock(op.Src, op.Tag, op.Comm)
+		if err != nil {
+			t.abort(p, err)
+			return
+		}
+		info.pbReq = pbReq
+	}
+	// else: deferred piggyback receive at completion (paper §II-D), or the
+	// clock arrives inside the payload (in-band transport).
+}
+
+// --- completion (MPI_Wait of Algorithm 1) ---
+
+func (t *Tool) complete(p *mpi.Proc, req *mpi.Request, status mpi.Status) {
+	st := t.state(p)
+	switch info := req.ToolData.(type) {
+	case *sendInfo:
+		if info.pbReq != nil {
+			if err := st.pb.DrainSend(info.pbReq); err != nil {
+				t.abort(p, err)
+			}
+		}
+	case *recvInfo:
+		if req.Cancelled() {
+			// No message arrived: retire the piggyback receive too and, for
+			// wildcard receives, withdraw the epoch (it never committed a
+			// match, so the generator has nothing to flip).
+			if info.pbReq != nil {
+				ok, err := p.PMPI().Cancel(info.pbReq)
+				if err != nil {
+					t.abort(p, err)
+				} else if !ok {
+					// The piggyback already arrived (payload raced the
+					// cancel); drain it so the shadow stream stays paired.
+					if _, err := p.PMPI().Wait(info.pbReq); err != nil {
+						t.abort(p, err)
+					}
+				}
+			}
+			if info.epoch != nil {
+				st.pendingND--
+			}
+			return
+		}
+		var mclock []uint64
+		var err error
+		switch {
+		case t.cfg.Transport == Inband:
+			var payload []byte
+			mclock, payload, err = piggyback.Unpack(req.Data())
+			if err == nil {
+				req.ReplaceData(payload)
+				status.Count = len(payload)
+			}
+		case info.pbReq != nil:
+			mclock, err = st.pb.WaitClock(info.pbReq)
+		default:
+			// Wildcard receive: source now known; fetch its piggyback.
+			mclock, err = st.pb.RecvClockFrom(status.Source, status.Tag, req.Comm())
+		}
+		if err != nil {
+			t.abort(p, err)
+			return
+		}
+		if e := info.epoch; e != nil {
+			e.chosen = status.Source
+			e.order = t.order.Add(1)
+			st.pendingND--
+			st.commitEpoch(e)
+			if e.guided {
+				if forced, ok := t.cfg.Decisions.Lookup(p.Rank(), e.lc); ok && forced != status.Source {
+					st.mismatches = append(st.mismatches, ForcedMismatch{
+						Epoch: EpochID{Rank: p.Rank(), LC: e.lc}, Forced: forced, Got: status.Source,
+					})
+				}
+			}
+		}
+		t.findPotentialMatches(st, info, req, status, mclock)
+		st.mergeClock(mclock)
+	}
+}
+
+// findPotentialMatches is Algorithm 1's late-message analysis: the incoming
+// message is checked against every recorded wildcard epoch of this rank. A
+// source's earliest candidate decides (non-overtaking, §II-C Fig. 2); a
+// message whose receive was posted before the epoch cannot be stolen by it.
+func (t *Tool) findPotentialMatches(st *rankState, info *recvInfo, req *mpi.Request, status mpi.Status, mclock []uint64) {
+	commID := req.Comm().ID()
+	for _, e := range st.epochs {
+		if e.commID != commID {
+			continue
+		}
+		if e.tag != mpi.AnyTag && e.tag != status.Tag {
+			continue
+		}
+		if info.postSeq < e.postSeq {
+			// Posted-order guard: this message was claimed by a receive
+			// posted before the epoch; MPI matching would never give it to
+			// the epoch in any execution.
+			continue
+		}
+		if info.epoch == e {
+			continue // the epoch's own match
+		}
+		if e.seen[status.Source] || e.chosen == status.Source {
+			continue
+		}
+		e.seen[status.Source] = true
+		if st.late(e, mclock) {
+			e.alts = append(e.alts, status.Source)
+		}
+	}
+}
+
+// --- probes ---
+
+func (t *Tool) preProbe(p *mpi.Proc, op *mpi.ProbeOp) {
+	st := t.state(p)
+	if !op.WasAnySource {
+		return
+	}
+	if st.mode == GuidedRun && int64(st.lc.Value()) > st.guidedEpoch {
+		st.mode = SelfRun
+	}
+	if st.mode == GuidedRun {
+		if src, ok := t.cfg.Decisions.Lookup(p.Rank(), st.lc.Value()); ok {
+			op.Src = src
+		}
+	}
+}
+
+func (t *Tool) postProbe(p *mpi.Proc, op *mpi.ProbeOp, status mpi.Status, found bool) {
+	st := t.state(p)
+	if !op.WasAnySource || !found {
+		// Nonblocking probes count only when the runtime reports a message
+		// ready (flag=true), as in the paper.
+		return
+	}
+	e := &epoch{
+		lc:      st.lc.Value(),
+		commID:  op.Comm.ID(),
+		tag:     op.Tag,
+		postSeq: st.recvPostSeq, // probes don't consume; order among receives
+		kind:    ProbeEpoch,
+		guided:  st.mode == GuidedRun,
+		inLoop:  st.loopDepth > 0,
+		chosen:  status.Source,
+		order:   t.order.Add(1),
+		seen:    make(map[int]bool),
+	}
+	st.epochs = append(st.epochs, e)
+	st.lc.Tick()
+	st.commitEpoch(e) // the probe's match decision commits immediately
+	if st.vc != nil {
+		st.vc.Tick()
+		e.vcSnap = st.vc.Snapshot()
+	}
+	// No piggyback receive: probes don't remove messages from the queues.
+}
+
+// --- collectives ---
+
+func (t *Tool) preColl(p *mpi.Proc, op *mpi.CollOp) {
+	st := t.state(p)
+	if st.pendingND > 0 && !st.dual {
+		// §V monitor: a collective propagates the clock while a wildcard
+		// receive is pending.
+		st.unsafe = append(st.unsafe, UnsafeReport{
+			Rank: p.Rank(), LC: st.lc.Value(),
+			Op: op.Kind.String(), Count: st.pendingND,
+		})
+	}
+}
+
+func (t *Tool) collClockIn(p *mpi.Proc, op *mpi.CollOp) []uint64 {
+	return t.state(p).clockVec()
+}
+
+func (t *Tool) collClockOut(p *mpi.Proc, op *mpi.CollOp, c []uint64) {
+	t.state(p).mergeClock(c)
+}
+
+// --- communicator management ---
+
+func (t *Tool) postCommCreate(p *mpi.Proc, parent, created mpi.Comm) {
+	st := t.state(p)
+	st.comms[created.ID()] = created
+	if t.cfg.Transport == Separate {
+		if err := st.pb.OnCommCreate(created); err != nil {
+			t.abort(p, err)
+		}
+	}
+}
+
+func (t *Tool) postCommFree(p *mpi.Proc, c mpi.Comm) {
+	st := t.state(p)
+	delete(st.comms, c.ID())
+	if t.cfg.Transport == Separate {
+		if err := st.pb.OnCommFree(c); err != nil {
+			t.abort(p, err)
+		}
+	}
+}
+
+// --- Pcontrol: loop iteration abstraction ---
+
+func (t *Tool) pcontrol(p *mpi.Proc, level int, arg string) {
+	if level != PcontrolLoopLevel {
+		return
+	}
+	st := t.state(p)
+	switch arg {
+	case LoopBegin:
+		st.loopDepth++
+	case LoopEnd:
+		if st.loopDepth > 0 {
+			st.loopDepth--
+		}
+	}
+}
+
+// sweepUnmatched analyzes sends that impinged on a rank but were never
+// received (paper Fig. 3: the alternate send "comes in late" and may match
+// no receive at all in this run). Their piggyback messages are still queued
+// on the shadow communicators, so after the run we probe and receive each
+// leftover piggyback and feed it to the late-message analysis. Runs on the
+// collector goroutine after World.Run returns, so no rank is racing us.
+func (t *Tool) sweepUnmatched(st *rankState) {
+	if st.p.World().Failure() != nil {
+		return // deadlocked/aborted runs cannot issue further MPI calls
+	}
+	pm := st.p.PMPI()
+	// Separate transport: leftover piggybacks queue on the shadow comms.
+	// In-band transport: the clocks sit inside the leftover payloads.
+	sources := make(map[int]mpi.Comm)
+	if t.cfg.Transport == Separate {
+		for id, shadow := range st.pb.Shadows() {
+			sources[id] = shadow
+		}
+	} else {
+		for id, c := range st.comms {
+			sources[id] = c
+		}
+	}
+	for commID, c := range sources {
+		for {
+			status, found, err := pm.Iprobe(mpi.AnySource, mpi.AnyTag, c)
+			if err != nil || !found {
+				break
+			}
+			data, _, err := pm.Recv(status.Source, status.Tag, c)
+			if err != nil {
+				break
+			}
+			var mclock []uint64
+			if t.cfg.Transport == Inband {
+				mclock, _, err = piggyback.Unpack(data)
+				if err != nil {
+					break
+				}
+			} else {
+				mclock = piggyback.DecodeClock(data)
+			}
+			for _, e := range st.epochs {
+				if e.commID != commID {
+					continue
+				}
+				if e.tag != mpi.AnyTag && e.tag != status.Tag {
+					continue
+				}
+				if e.seen[status.Source] || e.chosen == status.Source {
+					continue
+				}
+				e.seen[status.Source] = true
+				if st.late(e, mclock) {
+					e.alts = append(e.alts, status.Source)
+				}
+			}
+		}
+	}
+}
+
+// Trace collects the run's epoch log after World.Run returns. It first
+// sweeps each rank's unmatched incoming piggybacks (see sweepUnmatched).
+func (t *Tool) Trace() *RunTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.states {
+		if st != nil {
+			t.sweepUnmatched(st)
+		}
+	}
+	tr := &RunTrace{}
+	for rank, st := range t.states {
+		if st == nil {
+			continue
+		}
+		if st.lc.Value() > tr.MaxLC {
+			tr.MaxLC = st.lc.Value()
+		}
+		tr.Unsafe = append(tr.Unsafe, st.unsafe...)
+		tr.Mismatches = append(tr.Mismatches, st.mismatches...)
+		for _, e := range st.epochs {
+			rec := &EpochRecord{
+				Rank:   rank,
+				LC:     e.lc,
+				CommID: e.commID,
+				Tag:    e.tag,
+				Kind:   e.kind,
+				Chosen: e.chosen,
+				Guided: e.guided,
+				InLoop: e.inLoop,
+				Order:  e.order,
+			}
+			for _, a := range e.alts {
+				if a != e.chosen {
+					rec.Alternates = append(rec.Alternates, a)
+				}
+			}
+			tr.Epochs = append(tr.Epochs, rec)
+		}
+	}
+	sortEpochs(tr.Epochs)
+	return tr
+}
+
+// sortEpochs orders by global commit order; never-completed epochs
+// (order 0, chosen -1) sort last by (rank, lc) for determinism.
+func sortEpochs(es []*EpochRecord) {
+	less := func(i, j int) bool {
+		a, b := es[i], es[j]
+		ao, bo := a.Order, b.Order
+		if ao == 0 {
+			ao = ^uint64(0)
+		}
+		if bo == 0 {
+			bo = ^uint64(0)
+		}
+		if ao != bo {
+			return ao < bo
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.LC < b.LC
+	}
+	sort.Slice(es, less)
+}

@@ -1,0 +1,159 @@
+// Package core implements DAMPI: the decentralized, Lamport-clock-based
+// dynamic verifier of the paper (Algorithm 1) plus the offline schedule
+// generator that drives depth-first replay over epoch decisions, the bounded
+// mixing and loop-iteration-abstraction search heuristics, and the §V
+// unsafe-pattern monitor.
+//
+// The per-run half (Tool) is fully decentralized: each rank maintains its own
+// logical clock, piggybacks it on every message, classifies incoming messages
+// as late, and records potential alternate matches for its wildcard epochs.
+// The between-runs half (Explorer) is the paper's "Schedule Generator": it
+// reads each run's potential-match log, maintains the DFS stack of epoch
+// decisions, and produces the Epoch Decisions that guide the next replay.
+package core
+
+import "fmt"
+
+// ClockMode selects the causality tracking precision (paper §II-C/§II-F).
+type ClockMode int
+
+// Clock modes.
+const (
+	// Lamport is the scalable default: one integer per rank. It can miss
+	// potential matches in rare cross-coupled patterns (paper Fig. 4).
+	Lamport ClockMode = iota
+	// VectorClock is precise but costs O(procs) per message.
+	VectorClock
+)
+
+func (m ClockMode) String() string {
+	if m == VectorClock {
+		return "vector"
+	}
+	return "lamport"
+}
+
+// Mode is the per-rank execution mode of Algorithm 1.
+type Mode int
+
+// Execution modes.
+const (
+	// SelfRun lets the MPI runtime pick wildcard matches ("self-discovery").
+	SelfRun Mode = iota
+	// GuidedRun forces wildcard matches from the Epoch Decisions up to the
+	// rank's guided epoch, then reverts to SelfRun.
+	GuidedRun
+)
+
+func (m Mode) String() string {
+	if m == GuidedRun {
+		return "GUIDED_RUN"
+	}
+	return "SELF_RUN"
+}
+
+// EpochKind distinguishes the two sources of MPI receive non-determinism.
+type EpochKind int
+
+// Epoch kinds.
+const (
+	// RecvEpoch is a wildcard (MPI_ANY_SOURCE) receive.
+	RecvEpoch EpochKind = iota
+	// ProbeEpoch is a wildcard probe whose outcome was observed (blocking
+	// probe, or nonblocking probe returning found=true).
+	ProbeEpoch
+)
+
+func (k EpochKind) String() string {
+	if k == ProbeEpoch {
+		return "probe"
+	}
+	return "recv"
+}
+
+// EpochRecord is one wildcard decision point observed during a run: the
+// epoch's identity (Rank, LC), what it matched, and the potential alternate
+// matches discovered through late-message analysis.
+type EpochRecord struct {
+	Rank   int       `json:"rank"`
+	LC     uint64    `json:"lc"`
+	CommID int       `json:"comm"`
+	Tag    int       `json:"tag"`
+	Kind   EpochKind `json:"kind"`
+	// Chosen is the communicator-local source that actually matched
+	// (-1 if the receive never completed).
+	Chosen int `json:"chosen"`
+	// Alternates are the potential alternate sources (earliest late send
+	// from each process, per §II-C), excluding Chosen.
+	Alternates []int `json:"alternates,omitempty"`
+	// Guided reports whether this epoch was forced by the decisions file.
+	Guided bool `json:"guided,omitempty"`
+	// InLoop reports whether the epoch occurred inside a Pcontrol loop
+	// region (loop iteration abstraction: not explored).
+	InLoop bool `json:"in_loop,omitempty"`
+	// Order is the global commit order of the match decision, used by the
+	// schedule generator to order the DFS stack across ranks.
+	Order uint64 `json:"order"`
+}
+
+// ID returns the epoch's identity.
+func (e *EpochRecord) ID() EpochID { return EpochID{Rank: e.Rank, LC: e.LC} }
+
+func (e *EpochRecord) String() string {
+	return fmt.Sprintf("epoch{rank=%d lc=%d %s chosen=%d alts=%v}", e.Rank, e.LC, e.Kind, e.Chosen, e.Alternates)
+}
+
+// EpochID identifies a wildcard decision point across runs: the issuing rank
+// and its Lamport clock value at the decision (unique per rank because every
+// wildcard epoch increments the clock).
+type EpochID struct {
+	Rank int    `json:"rank"`
+	LC   uint64 `json:"lc"`
+}
+
+func (id EpochID) String() string { return fmt.Sprintf("(%d,%d)", id.Rank, id.LC) }
+
+// UnsafeReport is one detection of the paper's §V omission pattern: a
+// wildcard nonblocking receive's updated clock escaped (via a send or a
+// collective) before the receive's Wait/Test, which can make the algorithm
+// miss matches. The monitor is local to each rank and scalable, as in the
+// paper.
+type UnsafeReport struct {
+	Rank  int    `json:"rank"`
+	LC    uint64 `json:"lc"`
+	Op    string `json:"op"`      // the clock-transmitting operation
+	Count int    `json:"pending"` // number of pending wildcard receives
+}
+
+func (u UnsafeReport) String() string {
+	return fmt.Sprintf("unsafe-pattern{rank=%d lc=%d op=%s pending=%d}", u.Rank, u.LC, u.Op, u.Count)
+}
+
+// ForcedMismatch reports that a guided replay failed to enforce a decision:
+// the epoch matched a different source than the decisions file demanded.
+type ForcedMismatch struct {
+	Epoch  EpochID `json:"epoch"`
+	Forced int     `json:"forced"`
+	Got    int     `json:"got"`
+}
+
+func (f ForcedMismatch) String() string {
+	return fmt.Sprintf("forced-mismatch{%v forced=%d got=%d}", f.Epoch, f.Forced, f.Got)
+}
+
+// RunTrace is everything one instrumented run produced: the paper's
+// "Potential Matches" log plus monitor output.
+type RunTrace struct {
+	// Epochs is every wildcard epoch of the run, sorted by commit Order.
+	Epochs []*EpochRecord `json:"epochs"`
+	// Unsafe holds §V pattern detections.
+	Unsafe []UnsafeReport `json:"unsafe,omitempty"`
+	// Mismatches holds guided-replay enforcement failures.
+	Mismatches []ForcedMismatch `json:"mismatches,omitempty"`
+	// MaxLC is the largest Lamport clock observed (a size measure).
+	MaxLC uint64 `json:"max_lc"`
+}
+
+// WildcardCount returns the number of wildcard receive/probe epochs
+// analyzed (the paper's R* column in Table II).
+func (t *RunTrace) WildcardCount() int { return len(t.Epochs) }

@@ -1,0 +1,100 @@
+package isp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dampi/internal/core"
+	"dampi/internal/isp"
+	"dampi/mpi"
+)
+
+// randomFanIn builds a program with a random round structure: in each round
+// a random subset of senders (with distinct tags per round) feed rank 0's
+// wildcard receives, followed by a barrier. The full interleaving space is
+// the product of the per-round permutation counts.
+func randomFanIn(rng *rand.Rand, procs int) (func(p *mpi.Proc) error, int) {
+	rounds := 1 + rng.Intn(2)
+	senders := make([][]int, rounds)
+	expected := 1
+	for r := range senders {
+		k := 2 + rng.Intn(procs-2) // at least 2 senders for non-determinism
+		perm := rng.Perm(procs - 1)
+		for i := 0; i < k; i++ {
+			senders[r] = append(senders[r], perm[i]+1)
+		}
+		f := 1
+		for i := 2; i <= k; i++ {
+			f *= i
+		}
+		expected *= f
+	}
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for r, group := range senders {
+			mine := false
+			for _, s := range group {
+				if s == p.Rank() {
+					mine = true
+				}
+			}
+			switch {
+			case p.Rank() == 0:
+				for range group {
+					if _, _, err := p.Recv(mpi.AnySource, r, c); err != nil {
+						return err
+					}
+				}
+			case mine:
+				if err := p.Send(0, r, mpi.EncodeInt64(int64(p.Rank())), c); err != nil {
+					return err
+				}
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return prog, expected
+}
+
+// TestCrossCheckDAMPIvsISP: on randomly generated fan-in programs, both
+// verifiers must explore exactly the combinatorially expected number of
+// interleavings — the decentralized Lamport-clock analysis and the
+// centralized global-view scheduler agree on the coverage of the space.
+func TestCrossCheckDAMPIvsISP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		procs := 4 + rng.Intn(2)
+		prog, expected := randomFanIn(rng, procs)
+		if expected > 300 {
+			continue // keep runs quick
+		}
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			dampiRep, err := core.NewExplorer(core.ExplorerConfig{
+				Procs: procs, Program: prog, MixingBound: core.Unbounded,
+			}).Explore()
+			if err != nil {
+				t.Fatalf("dampi: %v", err)
+			}
+			if dampiRep.Errored() {
+				t.Fatalf("dampi errors: %v (%v)", dampiRep.Errors[0], dampiRep.Errors[0].Err)
+			}
+			ispRep, err := isp.NewExplorer(isp.Config{Procs: procs, Program: prog}).Explore()
+			if err != nil {
+				t.Fatalf("isp: %v", err)
+			}
+			if ispRep.Errored() {
+				t.Fatalf("isp errors: %v (%v)", ispRep.Errors[0], ispRep.Errors[0].Err)
+			}
+			if dampiRep.Interleavings != expected {
+				t.Errorf("DAMPI explored %d, combinatorial expectation %d", dampiRep.Interleavings, expected)
+			}
+			if ispRep.Interleavings != expected {
+				t.Errorf("ISP explored %d, combinatorial expectation %d", ispRep.Interleavings, expected)
+			}
+		})
+	}
+}

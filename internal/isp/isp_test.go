@@ -1,0 +1,251 @@
+package isp
+
+import (
+	"errors"
+	"testing"
+
+	"dampi/mpi"
+)
+
+var errBug = errors.New("application bug reached")
+
+func fig3Program(p *mpi.Proc) error {
+	c := p.CommWorld()
+	switch p.Rank() {
+	case 0:
+		return p.Send(1, 0, mpi.EncodeInt64(22), c)
+	case 2:
+		return p.Send(1, 0, mpi.EncodeInt64(33), c)
+	case 1:
+		data, _, err := p.Recv(mpi.AnySource, 0, c)
+		if err != nil {
+			return err
+		}
+		if mpi.DecodeInt64(data)[0] == 33 {
+			return errBug
+		}
+	}
+	return nil
+}
+
+func TestISPFindsFig3Error(t *testing.T) {
+	rep, err := NewExplorer(Config{Procs: 3, Program: fig3Program}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Interleavings != 2 {
+		t.Errorf("interleavings = %d, want 2", rep.Interleavings)
+	}
+	if len(rep.Errors) != 1 || !errors.Is(rep.Errors[0].Err, errBug) {
+		t.Fatalf("errors = %v, want the injected bug once", rep.Errors)
+	}
+}
+
+func fanInProgram(procs, rounds int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for r := 0; r < rounds; r++ {
+			if p.Rank() == 0 {
+				for i := 1; i < procs; i++ {
+					if _, _, err := p.Recv(mpi.AnySource, r, c); err != nil {
+						return err
+					}
+				}
+			} else {
+				if err := p.Send(0, r, mpi.EncodeInt64(int64(p.Rank())), c); err != nil {
+					return err
+				}
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestISPCoversFanIn(t *testing.T) {
+	// Same coverage as DAMPI: 3 senders into 3 wildcard receives = 3!.
+	rep, err := NewExplorer(Config{Procs: 4, Program: fanInProgram(4, 1)}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Interleavings != 6 {
+		t.Errorf("interleavings = %d, want 3! = 6", rep.Interleavings)
+	}
+	if rep.Errored() {
+		t.Errorf("unexpected errors: %v", rep.Errors)
+	}
+}
+
+func TestISPDeterministicProgram(t *testing.T) {
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			if err := p.Send(1, 0, []byte("hi"), c); err != nil {
+				return err
+			}
+			return p.Barrier(c)
+		}
+		if _, _, err := p.Recv(0, 0, c); err != nil {
+			return err
+		}
+		return p.Barrier(c)
+	}
+	rep, err := NewExplorer(Config{Procs: 2, Program: prog}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Interleavings != 1 || rep.Errored() {
+		t.Errorf("got %d interleavings (errors %v), want exactly 1 clean run",
+			rep.Interleavings, rep.Errors)
+	}
+}
+
+func TestISPDetectsWildcardStarvation(t *testing.T) {
+	// A wildcard receive with no sender anywhere: the scheduler holds it,
+	// observes quiescence with no candidates, and reports deadlock.
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			_, _, err := p.Recv(mpi.AnySource, 0, c)
+			return err
+		}
+		return nil
+	}
+	rep, err := NewExplorer(Config{Procs: 2, Program: prog}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Deadlocks != 1 {
+		t.Errorf("deadlocks = %d, want 1", rep.Deadlocks)
+	}
+}
+
+func TestISPDetectsRuntimeDeadlock(t *testing.T) {
+	// Wrong-tag hang with no wildcard involved: the runtime detector fires
+	// while ISP is idle.
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return p.Send(1, 1, nil, c)
+		}
+		_, _, err := p.Recv(0, 2, c)
+		return err
+	}
+	rep, err := NewExplorer(Config{Procs: 2, Program: prog}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Deadlocks != 1 {
+		t.Errorf("deadlocks = %d, want 1", rep.Deadlocks)
+	}
+}
+
+func TestISPNonblockingTraffic(t *testing.T) {
+	// Isend/Irecv/Waitany flow through the scheduler without stalling.
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			reqs := make([]*mpi.Request, 2)
+			var err error
+			for i := range reqs {
+				reqs[i], err = p.Irecv(mpi.AnySource, 0, c)
+				if err != nil {
+					return err
+				}
+			}
+			for range reqs {
+				if _, _, err := p.Waitany(reqs); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return p.Send(0, 0, nil, c)
+	}
+	rep, err := NewExplorer(Config{Procs: 3, Program: prog}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Errored() {
+		t.Fatalf("unexpected errors: %v", rep.Errors)
+	}
+	if rep.Interleavings < 2 {
+		t.Errorf("interleavings = %d, want >= 2", rep.Interleavings)
+	}
+}
+
+func TestISPMaxInterleavingsCap(t *testing.T) {
+	rep, err := NewExplorer(Config{Procs: 4, Program: fanInProgram(4, 2), MaxInterleavings: 4}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Interleavings != 4 || !rep.Capped {
+		t.Errorf("interleavings=%d capped=%v, want 4/true", rep.Interleavings, rep.Capped)
+	}
+}
+
+func TestISPStopOnFirstError(t *testing.T) {
+	rep, err := NewExplorer(Config{Procs: 3, Program: fig3Program, StopOnFirstError: true}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if len(rep.Errors) != 1 {
+		t.Errorf("errors = %d, want 1", len(rep.Errors))
+	}
+}
+
+func TestISPWildcardProbe(t *testing.T) {
+	// The scheduler must determinize wildcard probes too (probe
+	// non-determinism, handled like receives but without consuming).
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				st, err := p.Probe(mpi.AnySource, 0, c)
+				if err != nil {
+					return err
+				}
+				if _, _, err := p.Recv(st.Source, st.Tag, c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return p.Send(0, 0, mpi.EncodeInt64(int64(p.Rank())), c)
+	}
+	rep, err := NewExplorer(Config{Procs: 3, Program: prog}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Errored() {
+		t.Fatalf("errors: %v (%v)", rep.Errors[0], rep.Errors[0].Err)
+	}
+	if rep.Interleavings < 2 {
+		t.Errorf("interleavings = %d, want >= 2 (probe order flipped)", rep.Interleavings)
+	}
+}
+
+func TestISPCollectiveTraffic(t *testing.T) {
+	// Collectives round-trip through the scheduler without stalling.
+	prog := func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for i := 0; i < 5; i++ {
+			if _, err := p.Allreduce(c, mpi.EncodeInt64(int64(p.Rank())), mpi.SumInt64); err != nil {
+				return err
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rep, err := NewExplorer(Config{Procs: 8, Program: prog}).Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Interleavings != 1 || rep.Errored() {
+		t.Errorf("got %d interleavings, errors %v", rep.Interleavings, rep.Errors)
+	}
+}

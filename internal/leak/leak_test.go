@@ -1,0 +1,127 @@
+package leak
+
+import (
+	"testing"
+
+	"dampi/mpi"
+)
+
+func runTracked(t *testing.T, procs int, program func(p *mpi.Proc) error) *Report {
+	t.Helper()
+	tr := NewTracker()
+	w := mpi.NewWorld(mpi.Config{Procs: procs, Hooks: tr.Hooks()})
+	if err := w.Run(program); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr.Report()
+}
+
+func TestNoLeaksCleanProgram(t *testing.T) {
+	rep := runTracked(t, 2, func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		dup, err := p.CommDup(c)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := p.Send(1, 0, []byte("x"), dup); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := p.Recv(0, 0, dup); err != nil {
+				return err
+			}
+		}
+		return p.CommFree(dup)
+	})
+	if rep.HasCommLeak() || rep.HasRequestLeak() {
+		t.Fatalf("unexpected leaks: %v %v", rep.CommLeaks, rep.RequestLeaks)
+	}
+}
+
+func TestCommLeakDetected(t *testing.T) {
+	rep := runTracked(t, 2, func(p *mpi.Proc) error {
+		_, err := p.CommDup(p.CommWorld())
+		return err // never freed
+	})
+	if !rep.HasCommLeak() {
+		t.Fatal("C-leak not detected")
+	}
+	if len(rep.CommLeaks) != 2 { // one per rank
+		t.Fatalf("comm leaks = %d, want 2", len(rep.CommLeaks))
+	}
+	if rep.HasRequestLeak() {
+		t.Fatalf("spurious R-leak: %v", rep.RequestLeaks)
+	}
+}
+
+func TestSplitLeakDetected(t *testing.T) {
+	rep := runTracked(t, 4, func(p *mpi.Proc) error {
+		_, err := p.CommSplit(p.CommWorld(), p.Rank()%2, 0)
+		return err
+	})
+	if !rep.HasCommLeak() {
+		t.Fatal("split leak not detected")
+	}
+}
+
+func TestRequestLeakDetected(t *testing.T) {
+	rep := runTracked(t, 2, func(p *mpi.Proc) error {
+		if p.Rank() == 0 {
+			_, err := p.Irecv(0, 99, p.CommWorld()) // never completed
+			return err
+		}
+		return nil
+	})
+	if !rep.HasRequestLeak() {
+		t.Fatal("R-leak not detected")
+	}
+	if len(rep.RequestLeaks) != 1 {
+		t.Fatalf("request leaks = %d, want 1", len(rep.RequestLeaks))
+	}
+}
+
+func TestSendRequestLeakDetected(t *testing.T) {
+	rep := runTracked(t, 2, func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			_, err := p.Isend(1, 0, []byte("x"), c) // never waited
+			return err
+		}
+		_, _, err := p.Recv(0, 0, c)
+		return err
+	})
+	if !rep.HasRequestLeak() {
+		t.Fatal("unwaited Isend not reported")
+	}
+}
+
+func TestWaitedRequestsNotLeaked(t *testing.T) {
+	rep := runTracked(t, 2, func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			req, err := p.Isend(1, 0, []byte("x"), c)
+			if err != nil {
+				return err
+			}
+			_, err = p.Wait(req)
+			return err
+		}
+		req, err := p.Irecv(0, 0, c)
+		if err != nil {
+			return err
+		}
+		_, err = p.Wait(req)
+		return err
+	})
+	if rep.HasRequestLeak() {
+		t.Fatalf("spurious R-leak: %v", rep.RequestLeaks)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{CommLeaks: []string{"a"}}
+	if rep.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,187 @@
+// Package piggyback implements DAMPI's clock transport (paper §II-D): the
+// separate-message piggyback mechanism over shadow communicators.
+//
+// For every communicator the application uses, the tool duplicates a shadow
+// communicator. Every application send is accompanied by a piggyback message
+// on the shadow communicator carrying the sender's logical clock; every
+// receive posts (or defers) a matching piggyback receive. Because the shadow
+// communicator preserves the same (source, tag) FIFO ordering as the payload
+// communicator, the i-th payload message from a peer pairs with the i-th
+// piggyback message from that peer.
+//
+// The delicate case from the paper is the wildcard nonblocking receive: the
+// source is unknown at post time, so blindly posting a wildcard piggyback
+// receive can pair the wrong messages and deadlock the tool. Following the
+// paper, the piggyback receive for a wildcard Irecv is posted only at
+// completion (Wait/Test), when the source is known (RecvClockFrom).
+package piggyback
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dampi/mpi"
+)
+
+// EncodeClock serializes a logical clock (Lamport: one element; vector: N).
+func EncodeClock(clock []uint64) []byte {
+	out := make([]byte, 8*len(clock))
+	for i, v := range clock {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// DecodeClock deserializes a logical clock.
+func DecodeClock(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// Rank is the per-rank piggyback state. Methods must be called from the
+// owning rank's goroutine. All traffic goes through PMPI (unhooked) calls.
+type Rank struct {
+	p       *mpi.Proc
+	shadows map[int]mpi.Comm // payload comm ID -> this rank's shadow handle
+}
+
+// NewRank creates the piggyback state for p.
+func NewRank(p *mpi.Proc) *Rank {
+	return &Rank{p: p, shadows: make(map[int]mpi.Comm)}
+}
+
+// SetupWorld creates the shadow of MPI_COMM_WORLD. Collective: every rank
+// must call it (from the tool's Init hook).
+func (r *Rank) SetupWorld() error {
+	return r.OnCommCreate(r.p.CommWorld())
+}
+
+// OnCommCreate duplicates a shadow for a newly created (or initial)
+// communicator. Collective over the communicator's group.
+func (r *Rank) OnCommCreate(c mpi.Comm) error {
+	shadow, _, err := r.p.PMPI().CommDup(c, nil)
+	if err != nil {
+		return fmt.Errorf("piggyback: shadow dup for %v: %w", c, err)
+	}
+	r.shadows[c.ID()] = shadow
+	return nil
+}
+
+// OnCommFree releases the shadow of a freed communicator. Collective.
+func (r *Rank) OnCommFree(c mpi.Comm) error {
+	shadow, ok := r.shadows[c.ID()]
+	if !ok {
+		return nil
+	}
+	delete(r.shadows, c.ID())
+	_, err := r.p.PMPI().CommFree(shadow, nil)
+	return err
+}
+
+// Shadow returns the shadow communicator for c.
+func (r *Rank) Shadow(c mpi.Comm) (mpi.Comm, error) {
+	s, ok := r.shadows[c.ID()]
+	if !ok {
+		return mpi.Comm{}, fmt.Errorf("piggyback: no shadow for %v", c)
+	}
+	return s, nil
+}
+
+// SendClock sends the piggyback message accompanying a payload send to
+// (dest, tag) on c. Returns the piggyback request (eager; waited lazily).
+func (r *Rank) SendClock(dest, tag int, c mpi.Comm, clock []uint64) (*mpi.Request, error) {
+	shadow, err := r.Shadow(c)
+	if err != nil {
+		return nil, err
+	}
+	return r.p.PMPI().Isend(dest, tag, EncodeClock(clock), shadow)
+}
+
+// PostRecvClock posts the piggyback receive paired with a deterministic
+// payload receive from (src, tag) on c.
+func (r *Rank) PostRecvClock(src, tag int, c mpi.Comm) (*mpi.Request, error) {
+	shadow, err := r.Shadow(c)
+	if err != nil {
+		return nil, err
+	}
+	return r.p.PMPI().Irecv(src, tag, shadow)
+}
+
+// WaitClock completes a posted piggyback receive and decodes the clock.
+func (r *Rank) WaitClock(req *mpi.Request) ([]uint64, error) {
+	if _, err := r.p.PMPI().Wait(req); err != nil {
+		return nil, err
+	}
+	return DecodeClock(req.Data()), nil
+}
+
+// RecvClockFrom receives the piggyback for a completed wildcard receive,
+// now that the payload's source and tag are known (paper §II-D: deferred
+// piggyback receive).
+func (r *Rank) RecvClockFrom(src, tag int, c mpi.Comm) ([]uint64, error) {
+	shadow, err := r.Shadow(c)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := r.p.PMPI().Recv(src, tag, shadow)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeClock(data), nil
+}
+
+// Shadows returns a snapshot of the live payload-comm-ID -> shadow map.
+// Used by the post-run sweep for unmatched late messages.
+func (r *Rank) Shadows() map[int]mpi.Comm {
+	out := make(map[int]mpi.Comm, len(r.shadows))
+	for id, c := range r.shadows {
+		out[id] = c
+	}
+	return out
+}
+
+// DrainSend completes the piggyback send paired with a completed payload
+// send (eager, so this never blocks in practice).
+func (r *Rank) DrainSend(req *mpi.Request) error {
+	_, err := r.p.PMPI().Wait(req)
+	return err
+}
+
+// --- In-band ("data payload packing") transport ----------------------------
+//
+// The paper (§II-D) lists three piggyback mechanisms: data payload packing,
+// datatype packing, and separate messages, choosing separate messages for
+// implementation simplicity. The in-band transport implements payload
+// packing as the alternative: the clock travels inside the payload itself
+// ([u32 clock words][clock...][payload]), halving message count at the cost
+// of touching every payload (and of probes seeing the packed length).
+
+// Pack prepends a clock to a payload.
+func Pack(clock []uint64, payload []byte) []byte {
+	out := make([]byte, 4+8*len(clock)+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(clock)))
+	for i, v := range clock {
+		binary.LittleEndian.PutUint64(out[4+8*i:], v)
+	}
+	copy(out[4+8*len(clock):], payload)
+	return out
+}
+
+// Unpack splits a packed payload back into clock and application data.
+func Unpack(b []byte) (clock []uint64, payload []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("piggyback: packed payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) < 4+8*n {
+		return nil, nil, fmt.Errorf("piggyback: packed payload truncated (%d bytes, %d clock words)", len(b), n)
+	}
+	clock = make([]uint64, n)
+	for i := range clock {
+		clock[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return clock, b[4+8*n:], nil
+}

@@ -1,0 +1,26 @@
+package trace
+
+import "dampi/mpi"
+
+// Hooks returns a tool layer feeding the collector. Stack it below the
+// verifier so only application-level operations are counted (tool-internal
+// PMPI traffic bypasses hooks by construction).
+func (s *Stats) Hooks() *mpi.Hooks {
+	return &mpi.Hooks{
+		PostSend: func(p *mpi.Proc, op *mpi.SendOp, req *mpi.Request) {
+			s.CountSendRecv(p.Rank())
+		},
+		PostRecv: func(p *mpi.Proc, op *mpi.RecvOp, req *mpi.Request) {
+			s.CountSendRecv(p.Rank())
+		},
+		PostProbe: func(p *mpi.Proc, op *mpi.ProbeOp, st mpi.Status, found bool) {
+			s.CountSendRecv(p.Rank())
+		},
+		PostColl: func(p *mpi.Proc, op *mpi.CollOp) {
+			s.CountCollective(p.Rank())
+		},
+		PreWait: func(p *mpi.Proc, reqs []*mpi.Request) {
+			s.CountWait(p.Rank())
+		},
+	}
+}

@@ -1,0 +1,90 @@
+// Package trace logs MPI operation statistics per rank, reproducing the
+// methodology behind the paper's Table I: operations are classified as
+// Send-Recv (all point-to-point calls, probes included), Collective, or Wait
+// (each completion call). Local operations (communicator queries etc.) are
+// not counted, as in the paper.
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats accumulates per-rank operation counts. All counters are atomic so
+// ranks update concurrently without locks.
+type Stats struct {
+	procs    int
+	sendRecv []atomic.Int64
+	coll     []atomic.Int64
+	wait     []atomic.Int64
+}
+
+// NewStats creates a collector for a world of the given size.
+func NewStats(procs int) *Stats {
+	return &Stats{
+		procs:    procs,
+		sendRecv: make([]atomic.Int64, procs),
+		coll:     make([]atomic.Int64, procs),
+		wait:     make([]atomic.Int64, procs),
+	}
+}
+
+// Procs returns the world size the collector was built for.
+func (s *Stats) Procs() int { return s.procs }
+
+// CountSendRecv records one point-to-point operation on rank.
+func (s *Stats) CountSendRecv(rank int) { s.sendRecv[rank].Add(1) }
+
+// CountCollective records one collective operation on rank.
+func (s *Stats) CountCollective(rank int) { s.coll[rank].Add(1) }
+
+// CountWait records one completion operation on rank.
+func (s *Stats) CountWait(rank int) { s.wait[rank].Add(1) }
+
+// Totals summarizes the counts in the shape of the paper's Table I.
+type Totals struct {
+	Procs    int
+	All      int64
+	SendRecv int64
+	Coll     int64
+	Wait     int64
+}
+
+// AllPerProc returns total operations per process.
+func (t Totals) AllPerProc() int64 { return t.All / int64(t.Procs) }
+
+// SendRecvPerProc returns point-to-point operations per process.
+func (t Totals) SendRecvPerProc() int64 { return t.SendRecv / int64(t.Procs) }
+
+// CollPerProc returns collective operations per process.
+func (t Totals) CollPerProc() int64 { return t.Coll / int64(t.Procs) }
+
+// WaitPerProc returns completion operations per process.
+func (t Totals) WaitPerProc() int64 { return t.Wait / int64(t.Procs) }
+
+func (t Totals) String() string {
+	return fmt.Sprintf("ops{procs=%d all=%d sendrecv=%d coll=%d wait=%d}",
+		t.Procs, t.All, t.SendRecv, t.Coll, t.Wait)
+}
+
+// Totals aggregates all ranks.
+func (s *Stats) Totals() Totals {
+	t := Totals{Procs: s.procs}
+	for i := 0; i < s.procs; i++ {
+		t.SendRecv += s.sendRecv[i].Load()
+		t.Coll += s.coll[i].Load()
+		t.Wait += s.wait[i].Load()
+	}
+	t.All = t.SendRecv + t.Coll + t.Wait
+	return t
+}
+
+// RankTotals returns one rank's counts.
+func (s *Stats) RankTotals(rank int) Totals {
+	t := Totals{Procs: 1}
+	t.SendRecv = s.sendRecv[rank].Load()
+	t.Coll = s.coll[rank].Load()
+	t.Wait = s.wait[rank].Load()
+	t.All = t.SendRecv + t.Coll + t.Wait
+	return t
+}

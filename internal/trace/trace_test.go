@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"dampi/mpi"
+)
+
+func TestCategoriesCounted(t *testing.T) {
+	s := NewStats(2)
+	w := mpi.NewWorld(mpi.Config{Procs: 2, Hooks: s.Hooks()})
+	err := w.Run(func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			// 1 blocking send (Send-Recv, no Wait), 1 Isend + Wait.
+			if err := p.Send(1, 0, []byte("a"), c); err != nil {
+				return err
+			}
+			req, err := p.Isend(1, 1, []byte("b"), c)
+			if err != nil {
+				return err
+			}
+			if _, err := p.Wait(req); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := p.Recv(0, 0, c); err != nil {
+				return err
+			}
+			req, err := p.Irecv(0, 1, c)
+			if err != nil {
+				return err
+			}
+			if _, err := p.Wait(req); err != nil {
+				return err
+			}
+		}
+		return p.Barrier(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tot := s.Totals()
+	// 2 sends + 2 recvs = 4 Send-Recv; 2 Waits; 2 Barriers.
+	if tot.SendRecv != 4 {
+		t.Errorf("SendRecv = %d, want 4", tot.SendRecv)
+	}
+	if tot.Wait != 2 {
+		t.Errorf("Wait = %d, want 2 (blocking ops must not count waits)", tot.Wait)
+	}
+	if tot.Coll != 2 {
+		t.Errorf("Coll = %d, want 2", tot.Coll)
+	}
+	if tot.All != 8 {
+		t.Errorf("All = %d, want 8", tot.All)
+	}
+	r0 := s.RankTotals(0)
+	if r0.SendRecv != 2 || r0.Wait != 1 || r0.Coll != 1 {
+		t.Errorf("rank 0 totals = %+v", r0)
+	}
+	if tot.AllPerProc() != 4 || tot.SendRecvPerProc() != 2 || tot.CollPerProc() != 1 || tot.WaitPerProc() != 1 {
+		t.Errorf("per-proc helpers wrong: %+v", tot)
+	}
+}
+
+func TestProbesCountAsSendRecv(t *testing.T) {
+	s := NewStats(2)
+	w := mpi.NewWorld(mpi.Config{Procs: 2, Hooks: s.Hooks()})
+	err := w.Run(func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return p.Send(1, 0, []byte("x"), c)
+		}
+		if _, err := p.Probe(0, 0, c); err != nil {
+			return err
+		}
+		_, _, err := p.Recv(0, 0, c)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// send + probe + recv.
+	if got := s.Totals().SendRecv; got != 3 {
+		t.Errorf("SendRecv = %d, want 3", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	s := NewStats(1)
+	if s.Totals().String() == "" {
+		t.Fatal("empty Totals string")
+	}
+	if s.Procs() != 1 {
+		t.Fatal("Procs wrong")
+	}
+}

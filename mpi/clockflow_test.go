@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// clockProbe runs one collective with per-rank clock contributions and
+// returns what each rank got back — exercising the paper's clock-flow rules
+// (§II-E "MPI Collectives").
+func clockProbe(t *testing.T, procs int, in []uint64, coll func(p *Proc, c Comm) error) []uint64 {
+	t.Helper()
+	out := make([]uint64, procs)
+	var mu sync.Mutex
+	hooks := &Hooks{
+		CollClockIn: func(p *Proc, op *CollOp) []uint64 {
+			return []uint64{in[p.Rank()]}
+		},
+		CollClockOut: func(p *Proc, op *CollOp, c []uint64) {
+			mu.Lock()
+			out[p.Rank()] = c[0]
+			mu.Unlock()
+		},
+	}
+	w := NewWorld(Config{Procs: procs, Hooks: hooks})
+	if err := w.Run(func(p *Proc) error { return coll(p, p.CommWorld()) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out
+}
+
+func TestClockFlowBarrierIsMaxAll(t *testing.T) {
+	got := clockProbe(t, 4, []uint64{3, 9, 1, 5}, func(p *Proc, c Comm) error {
+		return p.Barrier(c)
+	})
+	for r, v := range got {
+		if v != 9 {
+			t.Errorf("rank %d clock = %d, want max-all 9", r, v)
+		}
+	}
+}
+
+func TestClockFlowBcastDeliversRootClock(t *testing.T) {
+	// Non-roots merge the root's clock; ranks above the root keep their own
+	// larger value (maxClock with root).
+	got := clockProbe(t, 4, []uint64{3, 9, 1, 5}, func(p *Proc, c Comm) error {
+		var data []byte
+		if c.Rank() == 1 {
+			data = []byte("x")
+		}
+		_, err := p.Bcast(c, 1, data)
+		return err
+	})
+	want := []uint64{9, 9, 9, 9} // root clock 9 dominates everyone here
+	for r, v := range got {
+		if v != want[r] {
+			t.Errorf("rank %d clock = %d, want %d", r, v, want[r])
+		}
+	}
+	// With a small root clock, the others keep their own values.
+	got = clockProbe(t, 3, []uint64{7, 1, 4}, func(p *Proc, c Comm) error {
+		var data []byte
+		if c.Rank() == 1 {
+			data = []byte("x")
+		}
+		_, err := p.Bcast(c, 1, data)
+		return err
+	})
+	want = []uint64{7, 1, 4} // root's 1 adds nothing
+	for r, v := range got {
+		if v != want[r] {
+			t.Errorf("rank %d clock = %d, want %d", r, v, want[r])
+		}
+	}
+}
+
+func TestClockFlowReduceOnlyRootMerges(t *testing.T) {
+	got := clockProbe(t, 4, []uint64{3, 9, 1, 5}, func(p *Proc, c Comm) error {
+		_, err := p.Reduce(c, 2, EncodeInt64(1), SumInt64)
+		return err
+	})
+	want := []uint64{3, 9, 9, 5} // root (rank 2) takes the max; others unchanged
+	for r, v := range got {
+		if v != want[r] {
+			t.Errorf("rank %d clock = %d, want %d", r, v, want[r])
+		}
+	}
+}
+
+func TestClockFlowScanIsPrefixMax(t *testing.T) {
+	got := clockProbe(t, 5, []uint64{2, 7, 3, 1, 4}, func(p *Proc, c Comm) error {
+		_, err := p.Scan(c, EncodeInt64(1), SumInt64)
+		return err
+	})
+	want := []uint64{2, 7, 7, 7, 7}
+	for r, v := range got {
+		if v != want[r] {
+			t.Errorf("rank %d clock = %d, want %d", r, v, want[r])
+		}
+	}
+}
+
+func TestClockFlowAllreduceIsMaxAll(t *testing.T) {
+	got := clockProbe(t, 3, []uint64{2, 8, 5}, func(p *Proc, c Comm) error {
+		_, err := p.Allreduce(c, EncodeInt64(1), SumInt64)
+		return err
+	})
+	for r, v := range got {
+		if v != 8 {
+			t.Errorf("rank %d clock = %d, want 8", r, v)
+		}
+	}
+}
+
+func TestClockFlowVectorClocks(t *testing.T) {
+	// Vector contributions combine component-wise.
+	const procs = 3
+	out := make([][]uint64, procs)
+	var mu sync.Mutex
+	hooks := &Hooks{
+		CollClockIn: func(p *Proc, op *CollOp) []uint64 {
+			v := make([]uint64, procs)
+			v[p.Rank()] = uint64(p.Rank() + 1)
+			return v
+		},
+		CollClockOut: func(p *Proc, op *CollOp, c []uint64) {
+			mu.Lock()
+			out[p.Rank()] = c
+			mu.Unlock()
+		},
+	}
+	w := NewWorld(Config{Procs: procs, Hooks: hooks})
+	if err := w.Run(func(p *Proc) error { return p.Barrier(p.CommWorld()) }); err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range out {
+		for i, x := range v {
+			if x != uint64(i+1) {
+				t.Errorf("rank %d component %d = %d, want %d", r, i, x, i+1)
+			}
+		}
+	}
+}

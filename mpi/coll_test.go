@@ -1,0 +1,370 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestBarrierOrdering(t *testing.T) {
+	// A message sent before a barrier must be receivable after it.
+	run(t, 4, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			for i := 1; i < 4; i++ {
+				if err := p.Send(i, 0, []byte("pre-barrier"), c); err != nil {
+					return err
+				}
+			}
+		}
+		if err := p.Barrier(c); err != nil {
+			return err
+		}
+		if p.Rank() != 0 {
+			data, _, err := p.Recv(0, 0, c)
+			if err != nil {
+				return err
+			}
+			if string(data) != "pre-barrier" {
+				return fmt.Errorf("got %q", data)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcast(t *testing.T) {
+	run(t, 5, func(p *Proc) error {
+		c := p.CommWorld()
+		var payload []byte
+		if p.Rank() == 2 {
+			payload = []byte("from-root")
+		}
+		got, err := p.Bcast(c, 2, payload)
+		if err != nil {
+			return err
+		}
+		if string(got) != "from-root" {
+			return fmt.Errorf("rank %d got %q", p.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	const n = 8
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		mine := EncodeInt64(int64(p.Rank() + 1))
+		sum, err := p.Reduce(c, 0, mine, SumInt64)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if got := DecodeInt64(sum)[0]; got != n*(n+1)/2 {
+				return fmt.Errorf("Reduce sum = %d", got)
+			}
+		} else if sum != nil {
+			return errors.New("non-root got Reduce result")
+		}
+		all, err := p.Allreduce(c, mine, MaxInt64)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInt64(all)[0]; got != n {
+			return fmt.Errorf("Allreduce max = %d", got)
+		}
+		return nil
+	})
+}
+
+func TestGatherScatterAllgather(t *testing.T) {
+	const n = 6
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		all, err := p.Gather(c, 1, EncodeInt64(int64(p.Rank()*10)))
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			for i, b := range all {
+				if got := DecodeInt64(b)[0]; got != int64(i*10) {
+					return fmt.Errorf("Gather[%d] = %d", i, got)
+				}
+			}
+		}
+		var pieces [][]byte
+		if p.Rank() == 1 {
+			pieces = make([][]byte, n)
+			for i := range pieces {
+				pieces[i] = EncodeInt64(int64(100 + i))
+			}
+		}
+		mine, err := p.Scatter(c, 1, pieces)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInt64(mine)[0]; got != int64(100+p.Rank()) {
+			return fmt.Errorf("Scatter got %d", got)
+		}
+		ag, err := p.Allgather(c, EncodeInt64(int64(p.Rank())))
+		if err != nil {
+			return err
+		}
+		for i, b := range ag {
+			if got := DecodeInt64(b)[0]; got != int64(i) {
+				return fmt.Errorf("Allgather[%d] = %d", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		pieces := make([][]byte, n)
+		for j := range pieces {
+			pieces[j] = EncodeInt64(int64(p.Rank()*100 + j))
+		}
+		got, err := p.Alltoall(c, pieces)
+		if err != nil {
+			return err
+		}
+		for j, b := range got {
+			if v := DecodeInt64(b)[0]; v != int64(j*100+p.Rank()) {
+				return fmt.Errorf("Alltoall[%d] = %d", j, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScanAndReduceScatter(t *testing.T) {
+	const n = 5
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		pre, err := p.Scan(c, EncodeInt64(1), SumInt64)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInt64(pre)[0]; got != int64(p.Rank()+1) {
+			return fmt.Errorf("Scan = %d", got)
+		}
+		pieces := make([][]byte, n)
+		for j := range pieces {
+			pieces[j] = EncodeInt64(int64(j))
+		}
+		mine, err := p.ReduceScatter(c, pieces, SumInt64)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInt64(mine)[0]; got != int64(p.Rank()*n) {
+			return fmt.Errorf("ReduceScatter = %d", got)
+		}
+		return nil
+	})
+}
+
+func TestCommDupIsolatesTraffic(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		dup, err := p.CommDup(c)
+		if err != nil {
+			return err
+		}
+		if dup.ID() == c.ID() {
+			return errors.New("dup has same ID")
+		}
+		if p.Rank() == 0 {
+			// Same peer and tag on both comms; receives must not cross.
+			if err := p.Send(1, 7, []byte("on-world"), c); err != nil {
+				return err
+			}
+			return p.Send(1, 7, []byte("on-dup"), dup)
+		}
+		d, _, err := p.Recv(0, 7, dup)
+		if err != nil {
+			return err
+		}
+		wv, _, err := p.Recv(0, 7, c)
+		if err != nil {
+			return err
+		}
+		if string(d) != "on-dup" || string(wv) != "on-world" {
+			return fmt.Errorf("traffic crossed comms: %q %q", d, wv)
+		}
+		return nil
+	})
+}
+
+func TestCommSplit(t *testing.T) {
+	const n = 6
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		color := p.Rank() % 2
+		// Reverse ordering within group via negative-like key trick.
+		sub, err := p.CommSplit(c, color, -p.Rank())
+		if err != nil {
+			return err
+		}
+		if !sub.Valid() {
+			return errors.New("no subcomm")
+		}
+		if sub.Size() != n/2 {
+			return fmt.Errorf("subcomm size %d", sub.Size())
+		}
+		// Key = -rank: highest world rank gets local rank 0.
+		wantLocal := (n - 2 - p.Rank() + color) / 2
+		if sub.Rank() != wantLocal {
+			return fmt.Errorf("world %d: local rank %d want %d", p.Rank(), sub.Rank(), wantLocal)
+		}
+		// Exchange within subcomm using local ranks.
+		sum, err := p.Allreduce(sub, EncodeInt64(int64(p.Rank())), SumInt64)
+		if err != nil {
+			return err
+		}
+		want := int64(0)
+		for r := color; r < n; r += 2 {
+			want += int64(r)
+		}
+		if got := DecodeInt64(sum)[0]; got != want {
+			return fmt.Errorf("subcomm allreduce = %d want %d", got, want)
+		}
+		return nil
+	})
+}
+
+func TestCommSplitUndefinedColor(t *testing.T) {
+	run(t, 3, func(p *Proc) error {
+		c := p.CommWorld()
+		color := 0
+		if p.Rank() == 2 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := p.CommSplit(c, color, 0)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 2 {
+			if sub.Valid() {
+				return errors.New("excluded rank got a comm")
+			}
+			return nil
+		}
+		if !sub.Valid() || sub.Size() != 2 {
+			return fmt.Errorf("bad subcomm %v", sub)
+		}
+		return nil
+	})
+}
+
+func TestCollectiveMismatchDetected(t *testing.T) {
+	w := NewWorld(Config{Procs: 2})
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return p.Barrier(c)
+		}
+		_, err := p.Bcast(c, 0, nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives not detected")
+	}
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UsageError, got %v", err)
+	}
+}
+
+func TestRootMismatchDetected(t *testing.T) {
+	w := NewWorld(Config{Procs: 2})
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		_, e := p.Bcast(c, p.Rank(), []byte("x")) // different roots
+		return e
+	})
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UsageError, got %v", err)
+	}
+}
+
+func TestNilReduceOpRejected(t *testing.T) {
+	run(t, 1, func(p *Proc) error {
+		_, err := p.Allreduce(p.CommWorld(), nil, nil)
+		var ue *UsageError
+		if !errors.As(err, &ue) {
+			return fmt.Errorf("want UsageError, got %v", err)
+		}
+		return nil
+	})
+}
+
+func TestSequentialCollectivesManyRounds(t *testing.T) {
+	const n = 16
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		for round := 0; round < 25; round++ {
+			v, err := p.Allreduce(c, EncodeInt64(int64(round)), MaxInt64)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(v)[0]; got != int64(round) {
+				return fmt.Errorf("round %d: %d", round, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCollectivesOnSubcomm(t *testing.T) {
+	const n = 8
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		sub, err := p.CommSplit(c, p.Rank()/4, p.Rank())
+		if err != nil {
+			return err
+		}
+		got, err := p.Bcast(sub, 0, []byte{byte(p.Rank() / 4)})
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(p.Rank()/4) {
+			return fmt.Errorf("subcomm bcast got %d", got[0])
+		}
+		return p.CommFree(sub)
+	})
+}
+
+func TestCollectivesAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank collective stress")
+	}
+	const n = 256
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		for round := 0; round < 3; round++ {
+			sum, err := p.Allreduce(c, EncodeInt64(int64(p.Rank())), SumInt64)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(sum)[0]; got != n*(n-1)/2 {
+				return fmt.Errorf("round %d: allreduce %d", round, got)
+			}
+			sub, err := p.CommSplit(c, p.Rank()%8, p.Rank())
+			if err != nil {
+				return err
+			}
+			if _, err := p.Bcast(sub, 0, EncodeInt64(int64(round))); err != nil {
+				return err
+			}
+			if err := p.CommFree(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

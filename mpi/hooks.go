@@ -1,0 +1,127 @@
+package mpi
+
+// This file defines the tool (profiling) interface: the simulator's analogue
+// of PMPI. Every public MPI call on a Proc invokes the corresponding hooks
+// around its "PMPI-level" implementation. Hooks may block (the ISP baseline
+// parks ranks here awaiting scheduler grants) and may rewrite the source of
+// wildcard receives and probes (how DAMPI and ISP enforce alternate
+// matches). Tools issue their own traffic through Proc.PMPI(), which bypasses
+// the hooks — exactly like calling PMPI_* from inside a profiling wrapper.
+
+// SendOp describes a send call entering the tool layer.
+type SendOp struct {
+	Dest int
+	Tag  int
+	Data []byte
+	Comm Comm
+	Sync bool // synchronous (Ssend-style) send
+}
+
+// RecvOp describes a receive call entering the tool layer. Tools may rewrite
+// Src (e.g. to determinize a wildcard receive during a guided replay);
+// WasAnySource preserves what the application originally asked for.
+type RecvOp struct {
+	Src          int
+	Tag          int
+	Comm         Comm
+	WasAnySource bool
+}
+
+// ProbeOp describes a probe call entering the tool layer. As with RecvOp,
+// Src is rewritable and WasAnySource records the original call.
+type ProbeOp struct {
+	Src          int
+	Tag          int
+	Comm         Comm
+	Blocking     bool
+	WasAnySource bool
+}
+
+// CollKind identifies a collective operation.
+type CollKind int
+
+// Collective kinds.
+const (
+	CollBarrier CollKind = iota
+	CollBcast
+	CollReduce
+	CollAllreduce
+	CollGather
+	CollAllgather
+	CollScatter
+	CollAlltoall
+	CollScan
+	CollReduceScatter
+	CollCommDup
+	CollCommSplit
+	CollCommFree
+)
+
+var collNames = [...]string{
+	"Barrier", "Bcast", "Reduce", "Allreduce", "Gather", "Allgather",
+	"Scatter", "Alltoall", "Scan", "ReduceScatter", "CommDup", "CommSplit",
+	"CommFree",
+}
+
+func (k CollKind) String() string {
+	if int(k) < len(collNames) {
+		return collNames[k]
+	}
+	return "CollKind(?)"
+}
+
+// CollOp describes a collective call entering the tool layer.
+type CollOp struct {
+	Kind CollKind
+	Comm Comm
+	Root int // meaningful for rooted collectives; 0 otherwise
+}
+
+// Hooks is the tool layer. All fields are optional; nil fields are skipped.
+// Compose multiple tools with pnmpi.Stack. Hooks run outside the runtime
+// lock, on the calling rank's goroutine.
+type Hooks struct {
+	// Init runs on each rank before its program starts. Collective tool
+	// setup (e.g. DAMPI's shadow-communicator duplication) happens here.
+	Init func(p *Proc)
+
+	PreSend  func(p *Proc, op *SendOp)
+	PostSend func(p *Proc, op *SendOp, req *Request)
+
+	PreRecv  func(p *Proc, op *RecvOp)
+	PostRecv func(p *Proc, op *RecvOp, req *Request)
+
+	// PreWait fires when the application enters any of the Wait/Test family,
+	// with the requests being waited on.
+	PreWait func(p *Proc, reqs []*Request)
+	// Complete fires exactly once per request whose completion is observed
+	// by a Wait/Test-family call, on the observing rank.
+	Complete func(p *Proc, req *Request, st Status)
+
+	PreProbe  func(p *Proc, op *ProbeOp)
+	PostProbe func(p *Proc, op *ProbeOp, st Status, found bool)
+
+	PreColl  func(p *Proc, op *CollOp)
+	PostColl func(p *Proc, op *CollOp)
+	// CollClockIn supplies this rank's logical-clock contribution to a
+	// collective; CollClockOut delivers the combined clock back (per the
+	// kind's combine rule: see the package comment on collectives). A
+	// one-element slice carries a Lamport clock; an N-element slice a vector
+	// clock.
+	CollClockIn  func(p *Proc, op *CollOp) []uint64
+	CollClockOut func(p *Proc, op *CollOp, clock []uint64)
+
+	// PostCommCreate fires after CommDup/CommSplit hands this rank a new
+	// communicator (not fired for ranks excluded from a split).
+	PostCommCreate func(p *Proc, parent, created Comm)
+	// PostCommFree fires after CommFree.
+	PostCommFree func(p *Proc, c Comm)
+
+	// Pcontrol receives MPI_Pcontrol calls (DAMPI's loop-iteration
+	// abstraction regions are marked this way).
+	Pcontrol func(p *Proc, level int, arg string)
+
+	// AtFinalize runs when the rank's program returns, before the rank is
+	// marked finished. Leak checks report here.
+	AtFinalize func(p *Proc)
+}

@@ -1,0 +1,98 @@
+// Package mpi is an in-process MPI runtime simulator: the substrate on which
+// the DAMPI verifier (internal/core) and the ISP baseline (internal/isp) run.
+//
+// The real DAMPI runs on a production MPI library (MVAPICH2) on a cluster;
+// there is no MPI binding or PMPI interposition path for Go, so this package
+// implements the MPI semantics the verifier observes and controls:
+//
+//   - ranks are goroutines, launched by World.Run;
+//   - point-to-point messages are matched with MPI matching semantics:
+//     per-(source, communicator, tag) FIFO ("non-overtaking"), wildcard
+//     source and tag, eager standard sends, synchronous sends, unexpected
+//     and posted-receive queues;
+//   - nonblocking operations return Requests completed by the Wait/Test
+//     family;
+//   - probes, the common collectives, and communicator management
+//     (dup, split, free) are provided;
+//   - a deadlock is detected precisely: the instant every unfinished rank is
+//     blocked, the runtime stops the world and reports who was stuck where;
+//   - every call flows through an optional tool layer (Hooks), the moral
+//     equivalent of the PMPI profiling interface: tools may observe calls,
+//     rewrite wildcard receive sources, attach state to requests, and issue
+//     their own "PMPI-level" (unhooked) operations.
+//
+// Wildcard receives are matched against the earliest eligible message in
+// arrival order, and arrival order depends on goroutine scheduling, so the
+// simulator exhibits genuine non-determinism — exactly the behaviour DAMPI
+// exists to cover.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wildcard and special rank values, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrAborted is returned from MPI calls after the world has been aborted,
+// either explicitly via Proc.Abort or by a fatal runtime condition.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// ErrFinalized is returned from MPI calls made after the rank finalized.
+var ErrFinalized = errors.New("mpi: rank already finalized")
+
+// UsageError reports a violation of MPI call semantics, e.g. mismatched
+// collectives or an out-of-range rank.
+type UsageError struct {
+	Rank int
+	Op   string
+	Msg  string
+}
+
+func (e *UsageError) Error() string {
+	return fmt.Sprintf("mpi: usage error on rank %d in %s: %s", e.Rank, e.Op, e.Msg)
+}
+
+// DeadlockError reports that every unfinished rank was blocked with no
+// enabled transition. BlockedAt maps world rank to a description of the call
+// it was stuck in.
+type DeadlockError struct {
+	BlockedAt map[int]string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("mpi: deadlock detected (%d ranks blocked)", len(e.BlockedAt))
+}
+
+// IsDeadlock reports whether err is (or wraps) a deadlock report.
+func IsDeadlock(err error) bool {
+	var d *DeadlockError
+	return errors.As(err, &d)
+}
+
+// Status describes a completed receive or a probed message.
+type Status struct {
+	Source int // communicator-local source rank
+	Tag    int
+	Count  int // payload length in bytes
+}
+
+// RequestKind distinguishes send and receive requests.
+type RequestKind int
+
+// Request kinds.
+const (
+	KindSend RequestKind = iota
+	KindRecv
+)
+
+func (k RequestKind) String() string {
+	if k == KindSend {
+		return "send"
+	}
+	return "recv"
+}

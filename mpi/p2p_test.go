@@ -1,0 +1,470 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// run executes program on a fresh n-rank world and fails the test on error.
+func run(t *testing.T, n int, program func(p *Proc) error) {
+	t.Helper()
+	w := NewWorld(Config{Procs: n})
+	if err := w.Run(program); err != nil {
+		t.Fatalf("Run failed: %v", err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		switch p.Rank() {
+		case 0:
+			return p.Send(1, 7, []byte("hello"), c)
+		case 1:
+			data, st, err := p.Recv(0, 7, c)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(data, []byte("hello")) {
+				return fmt.Errorf("got %q", data)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Count != 5 {
+				return fmt.Errorf("bad status %+v", st)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendBufferIsCopied(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			buf := []byte("aaaa")
+			if err := p.Send(1, 0, buf, c); err != nil {
+				return err
+			}
+			copy(buf, "zzzz") // must not affect the in-flight message
+			return p.Barrier(c)
+		}
+		if err := p.Barrier(c); err != nil {
+			return err
+		}
+		data, _, err := p.Recv(0, 0, c)
+		if err != nil {
+			return err
+		}
+		if string(data) != "aaaa" {
+			return fmt.Errorf("send buffer not copied: got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestNonOvertakingSameSourceTag(t *testing.T) {
+	const msgs = 50
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := p.Send(1, 3, EncodeInt64(int64(i)), c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			data, _, err := p.Recv(0, 3, c)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(data)[0]; got != int64(i) {
+				return fmt.Errorf("overtaking: msg %d arrived at slot %d", got, i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestNonOvertakingWildcardReceives(t *testing.T) {
+	// Even wildcard receives must observe per-source FIFO order.
+	const msgs = 30
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := p.Send(1, 3, EncodeInt64(int64(i)), c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			data, st, err := p.Recv(AnySource, AnyTag, c)
+			if err != nil {
+				return err
+			}
+			if st.Source != 0 {
+				return fmt.Errorf("bad source %d", st.Source)
+			}
+			if got := DecodeInt64(data)[0]; got != int64(i) {
+				return fmt.Errorf("wildcard overtaking: msg %d at slot %d", got, i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			if err := p.Send(1, 1, []byte("one"), c); err != nil {
+				return err
+			}
+			return p.Send(1, 2, []byte("two"), c)
+		}
+		// Receive tag 2 first even though tag 1 arrived first.
+		data2, _, err := p.Recv(0, 2, c)
+		if err != nil {
+			return err
+		}
+		data1, _, err := p.Recv(0, 1, c)
+		if err != nil {
+			return err
+		}
+		if string(data2) != "two" || string(data1) != "one" {
+			return fmt.Errorf("tag mismatch: %q %q", data1, data2)
+		}
+		return nil
+	})
+}
+
+func TestPostedReceiveMatchedInPostOrder(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 1 {
+			r1, err := p.Irecv(0, 5, c)
+			if err != nil {
+				return err
+			}
+			r2, err := p.Irecv(0, 5, c)
+			if err != nil {
+				return err
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+			if _, err := p.Wait(r1); err != nil {
+				return err
+			}
+			if _, err := p.Wait(r2); err != nil {
+				return err
+			}
+			if string(r1.Data()) != "first" || string(r2.Data()) != "second" {
+				return fmt.Errorf("posted order violated: %q %q", r1.Data(), r2.Data())
+			}
+			return nil
+		}
+		if err := p.Barrier(c); err != nil {
+			return err
+		}
+		if err := p.Send(1, 5, []byte("first"), c); err != nil {
+			return err
+		}
+		return p.Send(1, 5, []byte("second"), c)
+	})
+}
+
+func TestSsendBlocksUntilMatched(t *testing.T) {
+	// Rank 0 Ssends; rank 1 only posts the receive after a handshake via a
+	// different tag, proving the Ssend waited for the match.
+	run(t, 3, func(p *Proc) error {
+		c := p.CommWorld()
+		switch p.Rank() {
+		case 0:
+			if err := p.Ssend(1, 9, []byte("sync"), c); err != nil {
+				return err
+			}
+			// After Ssend returns, the receive must have been posted:
+			// rank 1 sets a flag via rank 2 before posting.
+			data, _, err := p.Recv(2, 1, c)
+			if err != nil {
+				return err
+			}
+			if string(data) != "posted-before-match" {
+				return fmt.Errorf("ordering witness broken: %q", data)
+			}
+			return nil
+		case 1:
+			if err := p.Send(2, 0, []byte("about-to-post"), c); err != nil {
+				return err
+			}
+			_, _, err := p.Recv(0, 9, c)
+			return err
+		case 2:
+			_, _, err := p.Recv(1, 0, c)
+			if err != nil {
+				return err
+			}
+			return p.Send(0, 1, []byte("posted-before-match"), c)
+		}
+		return nil
+	})
+}
+
+func TestWaitany(t *testing.T) {
+	run(t, 3, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			r1, err := p.Irecv(1, 0, c)
+			if err != nil {
+				return err
+			}
+			r2, err := p.Irecv(2, 0, c)
+			if err != nil {
+				return err
+			}
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				idx, st, err := p.Waitany([]*Request{r1, r2})
+				if err != nil {
+					return err
+				}
+				if seen[idx] {
+					return fmt.Errorf("Waitany returned index %d twice", idx)
+				}
+				seen[idx] = true
+				if st.Source != idx+1 {
+					return fmt.Errorf("index %d but source %d", idx, st.Source)
+				}
+			}
+			return nil
+		}
+		return p.Send(0, 0, []byte{byte(p.Rank())}, c)
+	})
+}
+
+func TestTestallAndTest(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			req, err := p.Irecv(1, 0, c)
+			if err != nil {
+				return err
+			}
+			if _, ok, err := p.Test(req); err != nil {
+				return err
+			} else if ok {
+				return errors.New("Test true before send")
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+			sts, ok, err := p.Testall([]*Request{req})
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return errors.New("Testall false after barrier handshake")
+			}
+			if sts[0].Source != 1 {
+				return fmt.Errorf("bad source %d", sts[0].Source)
+			}
+			return nil
+		}
+		if err := p.Barrier(c); err != nil {
+			return err
+		}
+		if err := p.Send(0, 0, []byte("x"), c); err != nil {
+			return err
+		}
+		return p.Barrier(c)
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return p.Send(1, 42, []byte("probe-me"), c)
+		}
+		st, err := p.Probe(AnySource, AnyTag, c)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 42 || st.Count != 8 {
+			return fmt.Errorf("bad probe status %+v", st)
+		}
+		// Probe must not consume: receive still works.
+		data, _, err := p.Recv(st.Source, st.Tag, c)
+		if err != nil {
+			return err
+		}
+		if string(data) != "probe-me" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestIprobeNoMessage(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 1 {
+			if _, found, err := p.Iprobe(0, 0, c); err != nil {
+				return err
+			} else if found {
+				return errors.New("Iprobe found phantom message")
+			}
+		}
+		// Handshake so rank 0 doesn't finish before rank 1 probes; then a
+		// real message must be found.
+		if err := p.Barrier(c); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := p.Send(1, 0, []byte("y"), c); err != nil {
+				return err
+			}
+			return p.Barrier(c)
+		}
+		if err := p.Barrier(c); err != nil {
+			return err
+		}
+		_, found, err := p.Iprobe(0, 0, c)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return errors.New("Iprobe missed delivered message")
+		}
+		_, _, err = p.Recv(0, 0, c)
+		return err
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	run(t, 1, func(p *Proc) error {
+		c := p.CommWorld()
+		if err := p.Send(0, 0, []byte("self"), c); err != nil {
+			return err
+		}
+		data, _, err := p.Recv(0, 0, c)
+		if err != nil {
+			return err
+		}
+		if string(data) != "self" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestUsageErrors(t *testing.T) {
+	w := NewWorld(Config{Procs: 2})
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			if err := p.Send(5, 0, nil, c); err == nil {
+				return errors.New("out-of-range dest accepted")
+			}
+			if err := p.Send(1, -3, nil, c); err == nil {
+				return errors.New("negative tag accepted")
+			}
+			if _, err := p.Irecv(9, 0, c); err == nil {
+				return errors.New("out-of-range src accepted")
+			}
+			if _, err := p.Isend(0, 0, nil, Comm{}); err == nil {
+				return errors.New("invalid comm accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRankProgramErrorsPropagate(t *testing.T) {
+	w := NewWorld(Config{Procs: 3})
+	boom := errors.New("boom")
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			return boom
+		}
+		return nil
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RunError, got %v", err)
+	}
+	if len(re.RankErrors) != 1 || re.RankErrors[0].Rank != 1 || !errors.Is(re.RankErrors[0], boom) {
+		t.Fatalf("bad rank errors: %+v", re.RankErrors)
+	}
+}
+
+func TestPanicInProgramIsCaptured(t *testing.T) {
+	w := NewWorld(Config{Procs: 2})
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RunError, got %v", err)
+	}
+	if len(re.RankErrors) != 1 || re.RankErrors[0].Rank != 0 {
+		t.Fatalf("bad rank errors: %+v", re.RankErrors)
+	}
+}
+
+func TestAbortWakesBlockedRanks(t *testing.T) {
+	w := NewWorld(Config{Procs: 2})
+	cause := errors.New("fatal condition")
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			p.Abort(cause)
+			return nil
+		}
+		_, _, err := p.Recv(0, 0, c) // would block forever without abort
+		return err
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RunError, got %v", err)
+	}
+	if !errors.Is(re.Aborted, cause) {
+		t.Fatalf("abort cause lost: %v", re.Aborted)
+	}
+}
+
+func TestManyRanksPingPong(t *testing.T) {
+	const n = 64
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		next := (p.Rank() + 1) % n
+		prev := (p.Rank() + n - 1) % n
+		for round := 0; round < 10; round++ {
+			if err := p.Send(next, round, EncodeInt64(int64(p.Rank())), c); err != nil {
+				return err
+			}
+			data, _, err := p.Recv(prev, round, c)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(data)[0]; got != int64(prev) {
+				return fmt.Errorf("round %d: got %d want %d", round, got, prev)
+			}
+		}
+		return nil
+	})
+}

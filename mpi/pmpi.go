@@ -1,0 +1,320 @@
+package mpi
+
+import "fmt"
+
+// PMPI exposes the raw, unhooked runtime operations — the analogue of the
+// PMPI_* entry points. Tool layers use it to issue their own traffic (e.g.
+// piggyback messages) without re-entering the hooks.
+type PMPI struct {
+	p *Proc
+}
+
+func (m PMPI) checkActive(op string) error {
+	if m.p.finalized {
+		return ErrFinalized
+	}
+	return nil
+}
+
+// Isend posts a nonblocking standard-mode (eager) send: the request is
+// complete immediately; the message is matched or queued at the destination.
+func (m PMPI) Isend(dest, tag int, data []byte, c Comm) (*Request, error) {
+	return m.isend(dest, tag, data, c, false)
+}
+
+// Issend posts a nonblocking synchronous send: the request completes only
+// when a matching receive is posted.
+func (m PMPI) Issend(dest, tag int, data []byte, c Comm) (*Request, error) {
+	return m.isend(dest, tag, data, c, true)
+}
+
+func (m PMPI) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, error) {
+	p := m.p
+	if err := m.checkActive("Isend"); err != nil {
+		return nil, err
+	}
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failure != nil {
+		return nil, w.failure
+	}
+	if !c.Valid() {
+		return nil, &UsageError{Rank: p.rank, Op: "Isend", Msg: "invalid communicator"}
+	}
+	if err := c.checkLive(p, "Isend"); err != nil {
+		return nil, err
+	}
+	if err := c.checkPeer(p, "Isend", dest, false); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, &UsageError{Rank: p.rank, Op: "Isend", Msg: fmt.Sprintf("negative tag %d", tag)}
+	}
+	w.nextReq++
+	req := &Request{id: w.nextReq, kind: KindSend, proc: p, comm: c, peer: dest, tag: tag}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	req.data = buf
+	w.sendSeq++
+	env := &envelope{src: c.localRank, tag: tag, data: buf, seq: w.sendSeq}
+	if sync {
+		env.sreq = req
+	} else {
+		req.done = true
+		req.status = Status{Source: c.localRank, Tag: tag, Count: len(buf)}
+	}
+	w.deliverLocked(c.info, dest, env)
+	return req, nil
+}
+
+// deliverLocked matches env against the posted receives of (ci, dest) or
+// queues it as unexpected. Caller holds w.mu.
+func (w *World) deliverLocked(ci *commInfo, dest int, env *envelope) {
+	mb := &ci.boxes[dest]
+	for i, preq := range mb.posted {
+		if preq.matchesEnv(env) {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			preq.completeRecvLocked(env)
+			preq.proc.cond.Broadcast()
+			w.completeSyncSendLocked(env)
+			return
+		}
+	}
+	mb.unexpected = append(mb.unexpected, env)
+	// A blocked probe on this rank may now be satisfiable.
+	w.procs[ci.members[dest]].cond.Broadcast()
+}
+
+// completeSyncSendLocked finishes the sender side of a synchronous send once
+// its envelope has been matched.
+func (w *World) completeSyncSendLocked(env *envelope) {
+	if env.sreq == nil {
+		return
+	}
+	env.sreq.done = true
+	env.sreq.status = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
+	env.sreq.proc.cond.Broadcast()
+}
+
+// Irecv posts a nonblocking receive. src may be AnySource; tag may be AnyTag.
+func (m PMPI) Irecv(src, tag int, c Comm) (*Request, error) {
+	p := m.p
+	if err := m.checkActive("Irecv"); err != nil {
+		return nil, err
+	}
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failure != nil {
+		return nil, w.failure
+	}
+	if !c.Valid() {
+		return nil, &UsageError{Rank: p.rank, Op: "Irecv", Msg: "invalid communicator"}
+	}
+	if err := c.checkLive(p, "Irecv"); err != nil {
+		return nil, err
+	}
+	if err := c.checkPeer(p, "Irecv", src, true); err != nil {
+		return nil, err
+	}
+	w.nextReq++
+	req := &Request{id: w.nextReq, kind: KindRecv, proc: p, comm: c, peer: src, tag: tag}
+	mb := &c.info.boxes[c.localRank]
+	for i, env := range mb.unexpected {
+		if req.matchesEnv(env) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			req.completeRecvLocked(env)
+			w.completeSyncSendLocked(env)
+			return req, nil
+		}
+	}
+	mb.posted = append(mb.posted, req)
+	return req, nil
+}
+
+// Wait blocks until the request completes and consumes the completion.
+// Waiting on an already-consumed request returns its cached status.
+func (m PMPI) Wait(req *Request) (Status, error) {
+	p := m.p
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if req.consumed {
+		return req.status, nil
+	}
+	desc := fmt.Sprintf("Wait(%s peer=%d tag=%d %s)", req.kind, req.peer, req.tag, req.comm)
+	if err := w.block(p, desc, func() bool { return req.done }); err != nil {
+		return Status{}, err
+	}
+	req.consumed = true
+	return req.status, nil
+}
+
+// Test checks the request without blocking; on completion it consumes it.
+func (m PMPI) Test(req *Request) (Status, bool, error) {
+	w := m.p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failure != nil {
+		return Status{}, false, w.failure
+	}
+	if req.consumed {
+		return req.status, true, nil
+	}
+	if !req.done {
+		return Status{}, false, nil
+	}
+	req.consumed = true
+	return req.status, true, nil
+}
+
+// Waitany blocks until at least one unconsumed request in reqs completes,
+// consumes it, and returns its index and status.
+func (m PMPI) Waitany(reqs []*Request) (int, Status, error) {
+	p := m.p
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idx := -1
+	pred := func() bool {
+		for i, r := range reqs {
+			if r != nil && r.done && !r.consumed {
+				idx = i
+				return true
+			}
+		}
+		return false
+	}
+	if err := w.block(p, fmt.Sprintf("Waitany(%d reqs)", len(reqs)), pred); err != nil {
+		return -1, Status{}, err
+	}
+	reqs[idx].consumed = true
+	return idx, reqs[idx].status, nil
+}
+
+// Probe blocks until a message matching (src, tag) is available on c and
+// returns its status without removing it.
+func (m PMPI) Probe(src, tag int, c Comm) (Status, error) {
+	p := m.p
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failure != nil {
+		return Status{}, w.failure
+	}
+	if err := c.checkLive(p, "Probe"); err != nil {
+		return Status{}, err
+	}
+	if err := c.checkPeer(p, "Probe", src, true); err != nil {
+		return Status{}, err
+	}
+	var st Status
+	pred := func() bool {
+		if env := c.info.findUnexpected(c.localRank, src, tag); env != nil {
+			st = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
+			return true
+		}
+		return false
+	}
+	desc := fmt.Sprintf("Probe(src=%s, tag=%s, %s)", rankStr(src), tagStr(tag), c)
+	if err := w.block(p, desc, pred); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Iprobe checks for a matching message without blocking.
+func (m PMPI) Iprobe(src, tag int, c Comm) (Status, bool, error) {
+	p := m.p
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failure != nil {
+		return Status{}, false, w.failure
+	}
+	if err := c.checkLive(p, "Iprobe"); err != nil {
+		return Status{}, false, err
+	}
+	if err := c.checkPeer(p, "Iprobe", src, true); err != nil {
+		return Status{}, false, err
+	}
+	if env := c.info.findUnexpected(c.localRank, src, tag); env != nil {
+		return Status{Source: env.src, Tag: env.tag, Count: len(env.data)}, true, nil
+	}
+	return Status{}, false, nil
+}
+
+// findUnexpected returns the earliest unexpected envelope at dest matching
+// (src, tag), or nil.
+func (ci *commInfo) findUnexpected(dest, src, tag int) *envelope {
+	for _, env := range ci.boxes[dest].unexpected {
+		if (src == AnySource || src == env.src) && (tag == AnyTag || tag == env.tag) {
+			return env
+		}
+	}
+	return nil
+}
+
+// Cancel removes a posted, unmatched receive from its matching queue and
+// completes it as cancelled. Returns false if the request already matched
+// or is not a receive.
+func (m PMPI) Cancel(req *Request) (bool, error) {
+	if req.kind != KindRecv {
+		return false, nil
+	}
+	w := m.p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if req.done {
+		return false, nil
+	}
+	mb := &req.comm.info.boxes[req.comm.localRank]
+	for i, posted := range mb.posted {
+		if posted == req {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			req.done = true
+			req.cancelled = true
+			req.status = Status{Source: AnySource, Tag: AnyTag, Count: 0}
+			return true, nil
+		}
+	}
+	return false, fmt.Errorf("mpi: Cancel: request neither posted nor done: %v", req)
+}
+
+// Send is a blocking standard-mode send (eager: completes immediately).
+func (m PMPI) Send(dest, tag int, data []byte, c Comm) error {
+	req, err := m.Isend(dest, tag, data, c)
+	if err != nil {
+		return err
+	}
+	_, err = m.Wait(req)
+	return err
+}
+
+// Recv is a blocking receive.
+func (m PMPI) Recv(src, tag int, c Comm) ([]byte, Status, error) {
+	req, err := m.Irecv(src, tag, c)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	st, err := m.Wait(req)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return req.data, st, nil
+}
+
+func rankStr(r int) string {
+	if r == AnySource {
+		return "*"
+	}
+	return fmt.Sprintf("%d", r)
+}
+
+func tagStr(t int) string {
+	if t == AnyTag {
+		return "*"
+	}
+	return fmt.Sprintf("%d", t)
+}

@@ -1,0 +1,302 @@
+package mpi
+
+import "sync"
+
+// Proc is one rank's handle into the world: the MPI API surface an
+// application programs against. All methods must be called from the rank's
+// own goroutine (MPI's single-threaded-rank model). Every method runs the
+// tool hooks around the PMPI-level implementation.
+type Proc struct {
+	world *World
+	rank  int
+	cond  *sync.Cond
+	pmpi  PMPI
+
+	blockedAt   string      // non-empty while parked inside the runtime
+	blockedPred func() bool // the park condition, re-checked by the deadlock detector
+	finished    bool
+	finalized   bool
+
+	// ToolState is scratch space for the tool layer's per-rank module
+	// (DAMPI hangs its per-rank state here). The runtime never touches it.
+	ToolState any
+}
+
+// Rank returns this process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.size }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// CommWorld returns this rank's MPI_COMM_WORLD handle.
+func (p *Proc) CommWorld() Comm {
+	return Comm{info: p.world.comms[0], localRank: p.rank}
+}
+
+// PMPI returns the unhooked operation surface for tool layers.
+func (p *Proc) PMPI() PMPI { return p.pmpi }
+
+func (p *Proc) hooks() *Hooks { return p.world.hooks }
+
+// Abort terminates the whole world with the given error; all blocked and
+// future MPI calls fail.
+func (p *Proc) Abort(err error) {
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err == nil {
+		err = ErrAborted
+	}
+	w.failLocked(err)
+}
+
+// Pcontrol forwards an MPI_Pcontrol call to the tool layer. DAMPI's
+// loop-iteration abstraction uses level 1 with arg "loop:begin"/"loop:end".
+func (p *Proc) Pcontrol(level int, arg string) {
+	if h := p.hooks(); h != nil && h.Pcontrol != nil {
+		h.Pcontrol(p, level, arg)
+	}
+}
+
+// --- Point-to-point ---
+
+// Isend posts a nonblocking standard (eager) send.
+func (p *Proc) Isend(dest, tag int, data []byte, c Comm) (*Request, error) {
+	return p.isend(dest, tag, data, c, false)
+}
+
+// Issend posts a nonblocking synchronous send.
+func (p *Proc) Issend(dest, tag int, data []byte, c Comm) (*Request, error) {
+	return p.isend(dest, tag, data, c, true)
+}
+
+func (p *Proc) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, error) {
+	op := &SendOp{Dest: dest, Tag: tag, Data: data, Comm: c, Sync: sync}
+	h := p.hooks()
+	if h != nil && h.PreSend != nil {
+		h.PreSend(p, op)
+	}
+	var req *Request
+	var err error
+	if op.Sync {
+		req, err = p.pmpi.Issend(op.Dest, op.Tag, op.Data, op.Comm)
+	} else {
+		req, err = p.pmpi.Isend(op.Dest, op.Tag, op.Data, op.Comm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if h != nil && h.PostSend != nil {
+		h.PostSend(p, op, req)
+	}
+	return req, nil
+}
+
+// waitInternal completes the implicit wait inside a blocking operation: the
+// Complete hook still fires (tools must observe every completion), but
+// PreWait does not — a blocking MPI_Send/MPI_Recv is a single operation, not
+// a send plus a wait, and op-statistics tools count it as such.
+func (p *Proc) waitInternal(req *Request) (Status, error) {
+	w := p.world
+	w.mu.Lock()
+	already := req.consumed
+	w.mu.Unlock()
+	st, err := p.pmpi.Wait(req)
+	if err != nil {
+		return st, err
+	}
+	if !already {
+		p.observeCompletion(req, st)
+	}
+	// Tool layers may rewrite the payload (Request.ReplaceData) during the
+	// Complete hook; return the request's current status.
+	return req.Status(), nil
+}
+
+// Send is a blocking standard send (eager-buffered: returns once the message
+// is in flight).
+func (p *Proc) Send(dest, tag int, data []byte, c Comm) error {
+	req, err := p.Isend(dest, tag, data, c)
+	if err != nil {
+		return err
+	}
+	_, err = p.waitInternal(req)
+	return err
+}
+
+// Ssend is a blocking synchronous send: returns only when the matching
+// receive has been posted.
+func (p *Proc) Ssend(dest, tag int, data []byte, c Comm) error {
+	req, err := p.Issend(dest, tag, data, c)
+	if err != nil {
+		return err
+	}
+	_, err = p.waitInternal(req)
+	return err
+}
+
+// Irecv posts a nonblocking receive; src may be AnySource, tag may be AnyTag.
+func (p *Proc) Irecv(src, tag int, c Comm) (*Request, error) {
+	op := &RecvOp{Src: src, Tag: tag, Comm: c, WasAnySource: src == AnySource}
+	h := p.hooks()
+	if h != nil && h.PreRecv != nil {
+		h.PreRecv(p, op)
+	}
+	req, err := p.pmpi.Irecv(op.Src, op.Tag, op.Comm)
+	if err != nil {
+		return nil, err
+	}
+	if h != nil && h.PostRecv != nil {
+		h.PostRecv(p, op, req)
+	}
+	return req, nil
+}
+
+// Recv is a blocking receive; returns the payload and its status.
+func (p *Proc) Recv(src, tag int, c Comm) ([]byte, Status, error) {
+	req, err := p.Irecv(src, tag, c)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	st, err := p.waitInternal(req)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return req.Data(), st, nil
+}
+
+// --- Completion ---
+
+// observeCompletion fires the Complete hook once per request.
+func (p *Proc) observeCompletion(req *Request, st Status) {
+	h := p.hooks()
+	if h != nil && h.Complete != nil {
+		h.Complete(p, req, st)
+	}
+}
+
+// Wait blocks until req completes and consumes the completion.
+func (p *Proc) Wait(req *Request) (Status, error) {
+	h := p.hooks()
+	if h != nil && h.PreWait != nil {
+		h.PreWait(p, []*Request{req})
+	}
+	w := p.world
+	w.mu.Lock()
+	already := req.consumed
+	w.mu.Unlock()
+	st, err := p.pmpi.Wait(req)
+	if err != nil {
+		return st, err
+	}
+	if !already {
+		p.observeCompletion(req, st)
+	}
+	return req.Status(), nil
+}
+
+// Test checks req without blocking; a true flag consumes the completion.
+func (p *Proc) Test(req *Request) (Status, bool, error) {
+	h := p.hooks()
+	if h != nil && h.PreWait != nil {
+		h.PreWait(p, []*Request{req})
+	}
+	w := p.world
+	w.mu.Lock()
+	already := req.consumed
+	w.mu.Unlock()
+	st, ok, err := p.pmpi.Test(req)
+	if err != nil || !ok {
+		return st, ok, err
+	}
+	if !already {
+		p.observeCompletion(req, st)
+	}
+	return req.Status(), true, nil
+}
+
+// Waitall waits for all requests, returning their statuses in order.
+func (p *Proc) Waitall(reqs []*Request) ([]Status, error) {
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, err := p.Wait(r)
+		if err != nil {
+			return nil, err
+		}
+		sts[i] = st
+	}
+	return sts, nil
+}
+
+// Waitany blocks until one unconsumed request completes; returns its index.
+func (p *Proc) Waitany(reqs []*Request) (int, Status, error) {
+	h := p.hooks()
+	if h != nil && h.PreWait != nil {
+		h.PreWait(p, reqs)
+	}
+	idx, st, err := p.pmpi.Waitany(reqs)
+	if err != nil {
+		return idx, st, err
+	}
+	p.observeCompletion(reqs[idx], st)
+	return idx, reqs[idx].Status(), nil
+}
+
+// Testall reports whether all requests have completed; if so it consumes
+// them all and returns their statuses.
+func (p *Proc) Testall(reqs []*Request) ([]Status, bool, error) {
+	w := p.world
+	w.mu.Lock()
+	for _, r := range reqs {
+		if r != nil && !r.done {
+			w.mu.Unlock()
+			return nil, false, nil
+		}
+	}
+	w.mu.Unlock()
+	sts, err := p.Waitall(reqs) // all done: consumes without blocking
+	return sts, err == nil, err
+}
+
+// --- Probes ---
+
+// Probe blocks until a matching message is available and returns its status
+// without receiving it.
+func (p *Proc) Probe(src, tag int, c Comm) (Status, error) {
+	op := &ProbeOp{Src: src, Tag: tag, Comm: c, Blocking: true, WasAnySource: src == AnySource}
+	h := p.hooks()
+	if h != nil && h.PreProbe != nil {
+		h.PreProbe(p, op)
+	}
+	st, err := p.pmpi.Probe(op.Src, op.Tag, op.Comm)
+	if err != nil {
+		return st, err
+	}
+	if h != nil && h.PostProbe != nil {
+		h.PostProbe(p, op, st, true)
+	}
+	return st, nil
+}
+
+// Iprobe checks for a matching message without blocking.
+func (p *Proc) Iprobe(src, tag int, c Comm) (Status, bool, error) {
+	op := &ProbeOp{Src: src, Tag: tag, Comm: c, WasAnySource: src == AnySource}
+	h := p.hooks()
+	if h != nil && h.PreProbe != nil {
+		h.PreProbe(p, op)
+	}
+	st, found, err := p.pmpi.Iprobe(op.Src, op.Tag, op.Comm)
+	if err != nil {
+		return st, found, err
+	}
+	if h != nil && h.PostProbe != nil {
+		h.PostProbe(p, op, st, found)
+	}
+	return st, found, nil
+}

@@ -1,0 +1,212 @@
+package mpi
+
+// Public (hooked) collective API. Each call runs PreColl/PostColl around the
+// PMPI implementation and threads the tool clock through the collective's
+// clock-flow rule.
+
+func (p *Proc) collHooks(op *CollOp) (clock []uint64, post func(out []uint64)) {
+	h := p.hooks()
+	if h == nil {
+		return nil, func([]uint64) {}
+	}
+	if h.PreColl != nil {
+		h.PreColl(p, op)
+	}
+	if h.CollClockIn != nil {
+		clock = h.CollClockIn(p, op)
+	}
+	return clock, func(out []uint64) {
+		if h.CollClockOut != nil && out != nil {
+			h.CollClockOut(p, op, out)
+		}
+		if h.PostColl != nil {
+			h.PostColl(p, op)
+		}
+	}
+}
+
+func (p *Proc) checkReduceOp(kind CollKind, op ReduceFunc) error {
+	if op == nil {
+		return &UsageError{Rank: p.rank, Op: kind.String(), Msg: "nil reduce op"}
+	}
+	return nil
+}
+
+// Barrier synchronizes all ranks of c.
+func (p *Proc) Barrier(c Comm) error {
+	op := &CollOp{Kind: CollBarrier, Comm: c}
+	clk, post := p.collHooks(op)
+	out, err := p.pmpi.Barrier(c, clk)
+	if err != nil {
+		return err
+	}
+	post(out)
+	return nil
+}
+
+// Bcast broadcasts root's data to every rank of c and returns it.
+func (p *Proc) Bcast(c Comm, root int, data []byte) ([]byte, error) {
+	op := &CollOp{Kind: CollBcast, Comm: c, Root: root}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Bcast(c, root, data, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Reduce folds all ranks' data with rop; root receives the result.
+func (p *Proc) Reduce(c Comm, root int, data []byte, rop ReduceFunc) ([]byte, error) {
+	if err := p.checkReduceOp(CollReduce, rop); err != nil {
+		return nil, err
+	}
+	op := &CollOp{Kind: CollReduce, Comm: c, Root: root}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Reduce(c, root, data, rop, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Allreduce folds all ranks' data with rop; every rank receives the result.
+func (p *Proc) Allreduce(c Comm, data []byte, rop ReduceFunc) ([]byte, error) {
+	if err := p.checkReduceOp(CollAllreduce, rop); err != nil {
+		return nil, err
+	}
+	op := &CollOp{Kind: CollAllreduce, Comm: c}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Allreduce(c, data, rop, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Gather collects every rank's data at root (indexed by comm rank; nil at
+// non-roots).
+func (p *Proc) Gather(c Comm, root int, data []byte) ([][]byte, error) {
+	op := &CollOp{Kind: CollGather, Comm: c, Root: root}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Gather(c, root, data, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Allgather collects every rank's data at every rank.
+func (p *Proc) Allgather(c Comm, data []byte) ([][]byte, error) {
+	op := &CollOp{Kind: CollAllgather, Comm: c}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Allgather(c, data, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Scatter distributes root's pieces, one per rank.
+func (p *Proc) Scatter(c Comm, root int, pieces [][]byte) ([]byte, error) {
+	op := &CollOp{Kind: CollScatter, Comm: c, Root: root}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Scatter(c, root, pieces, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Alltoall performs a personalized all-to-all exchange.
+func (p *Proc) Alltoall(c Comm, pieces [][]byte) ([][]byte, error) {
+	op := &CollOp{Kind: CollAlltoall, Comm: c}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Alltoall(c, pieces, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// Scan computes an inclusive prefix reduction.
+func (p *Proc) Scan(c Comm, data []byte, rop ReduceFunc) ([]byte, error) {
+	if err := p.checkReduceOp(CollScan, rop); err != nil {
+		return nil, err
+	}
+	op := &CollOp{Kind: CollScan, Comm: c}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.Scan(c, data, rop, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// ReduceScatter folds piece columns across ranks and scatters the results.
+func (p *Proc) ReduceScatter(c Comm, pieces [][]byte, rop ReduceFunc) ([]byte, error) {
+	if err := p.checkReduceOp(CollReduceScatter, rop); err != nil {
+		return nil, err
+	}
+	op := &CollOp{Kind: CollReduceScatter, Comm: c}
+	clk, post := p.collHooks(op)
+	res, out, err := p.pmpi.ReduceScatter(c, pieces, rop, clk)
+	if err != nil {
+		return nil, err
+	}
+	post(out)
+	return res, nil
+}
+
+// CommDup collectively duplicates c.
+func (p *Proc) CommDup(c Comm) (Comm, error) {
+	op := &CollOp{Kind: CollCommDup, Comm: c}
+	clk, post := p.collHooks(op)
+	nc, out, err := p.pmpi.CommDup(c, clk)
+	if err != nil {
+		return Comm{}, err
+	}
+	post(out)
+	if h := p.hooks(); h != nil && h.PostCommCreate != nil {
+		h.PostCommCreate(p, c, nc)
+	}
+	return nc, nil
+}
+
+// CommSplit collectively splits c by color, ordered by (key, old rank).
+// A negative color excludes the caller, which receives an invalid Comm.
+func (p *Proc) CommSplit(c Comm, color, key int) (Comm, error) {
+	op := &CollOp{Kind: CollCommSplit, Comm: c}
+	clk, post := p.collHooks(op)
+	nc, out, err := p.pmpi.CommSplit(c, color, key, clk)
+	if err != nil {
+		return Comm{}, err
+	}
+	post(out)
+	if h := p.hooks(); h != nil && h.PostCommCreate != nil && nc.Valid() {
+		h.PostCommCreate(p, c, nc)
+	}
+	return nc, nil
+}
+
+// CommFree collectively releases c.
+func (p *Proc) CommFree(c Comm) error {
+	op := &CollOp{Kind: CollCommFree, Comm: c}
+	clk, post := p.collHooks(op)
+	out, err := p.pmpi.CommFree(c, clk)
+	if err != nil {
+		return err
+	}
+	post(out)
+	if h := p.hooks(); h != nil && h.PostCommFree != nil {
+		h.PostCommFree(p, c)
+	}
+	return nil
+}

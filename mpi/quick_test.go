@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickNonOvertaking: under randomly generated traffic (random senders,
+// tags and receive styles), every rank observes each (source, tag) stream
+// in send order — the MPI non-overtaking guarantee DAMPI's potential-match
+// analysis relies on.
+func TestQuickNonOvertaking(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const procs = 4
+		const msgsPerSender = 8
+		tagOf := func(i int) int { return i % 2 }
+
+		w := NewWorld(Config{Procs: procs})
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			if p.Rank() != 0 {
+				for i := 0; i < msgsPerSender; i++ {
+					payload := EncodeInt64(int64(p.Rank()), int64(i))
+					if err := p.Send(0, tagOf(i), payload, c); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			// Rank 0 receives everything with a random mix of wildcard and
+			// deterministic receives, checking per-(src,tag) sequence order.
+			next := make(map[[2]int]int64) // (src,tag) -> expected index
+			style := rng.Intn(3)
+			for n := 0; n < (procs-1)*msgsPerSender; n++ {
+				src, tag := AnySource, AnyTag
+				switch style {
+				case 1:
+					tag = tagOf(n % msgsPerSender)
+				case 2:
+					// Drain source 1 deterministically first, then wildcard
+					// the rest (mixing freely would starve targeted receives).
+					if n < msgsPerSender {
+						src = 1
+					}
+				}
+				data, st, err := p.Recv(src, tag, c)
+				if err != nil {
+					return err
+				}
+				vals := DecodeInt64(data)
+				sender, idx := int(vals[0]), vals[1]
+				if sender != st.Source {
+					return fmt.Errorf("payload sender %d != status source %d", sender, st.Source)
+				}
+				key := [2]int{st.Source, st.Tag}
+				// Within one (src,tag) stream, indices must strictly increase.
+				if idx < next[key] {
+					return fmt.Errorf("overtaking on (src=%d,tag=%d): got %d after %d",
+						st.Source, st.Tag, idx, next[key])
+				}
+				next[key] = idx + 1
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCollectiveAgreement: random sequences of collectives keep all
+// ranks in agreement on every result.
+func TestQuickCollectiveAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const procs = 5
+		ops := make([]int, 6)
+		for i := range ops {
+			ops[i] = rng.Intn(4)
+		}
+		root := rng.Intn(procs)
+		w := NewWorld(Config{Procs: procs})
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			for step, op := range ops {
+				mine := EncodeInt64(int64(p.Rank()*100 + step))
+				switch op {
+				case 0:
+					if err := p.Barrier(c); err != nil {
+						return err
+					}
+				case 1:
+					got, err := p.Allreduce(c, mine, SumInt64)
+					if err != nil {
+						return err
+					}
+					want := int64(0)
+					for r := 0; r < procs; r++ {
+						want += int64(r*100 + step)
+					}
+					if DecodeInt64(got)[0] != want {
+						return fmt.Errorf("step %d: allreduce %d != %d", step, DecodeInt64(got)[0], want)
+					}
+				case 2:
+					var data []byte
+					if p.Rank() == root {
+						data = EncodeInt64(int64(step))
+					}
+					got, err := p.Bcast(c, root, data)
+					if err != nil {
+						return err
+					}
+					if DecodeInt64(got)[0] != int64(step) {
+						return fmt.Errorf("step %d: bcast got %d", step, DecodeInt64(got)[0])
+					}
+				case 3:
+					got, err := p.Allgather(c, mine)
+					if err != nil {
+						return err
+					}
+					for r, b := range got {
+						if DecodeInt64(b)[0] != int64(r*100+step) {
+							return fmt.Errorf("step %d: allgather[%d] wrong", step, r)
+						}
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThousandRanks: the scale the paper demonstrates (1024 processes).
+func TestThousandRanks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-rank run")
+	}
+	const n = 1024
+	run(t, n, func(p *Proc) error {
+		c := p.CommWorld()
+		// Neighbour exchange + a reduction, twice.
+		for round := 0; round < 2; round++ {
+			peer := p.Rank() ^ 1
+			if peer < n {
+				if _, _, err := p.Sendrecv(peer, round, EncodeInt64(int64(p.Rank())), peer, round, c); err != nil {
+					return err
+				}
+			}
+			sum, err := p.Allreduce(c, EncodeInt64(1), SumInt64)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(sum)[0]; got != n {
+				return fmt.Errorf("allreduce = %d, want %d", got, n)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Codec helpers for the []byte payloads the simulator moves around, plus the
+// standard reduction operators (MPI_SUM, MPI_MAX, MPI_MIN) over int64 and
+// float64 vectors.
+
+// EncodeInt64 encodes a vector of int64 values (little-endian).
+func EncodeInt64(vals ...int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// DecodeInt64 decodes a vector of int64 values.
+func DecodeInt64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// EncodeFloat64 encodes a vector of float64 values via math.Float64bits.
+func EncodeFloat64(vals ...float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64 decodes a vector of float64 values.
+func DecodeFloat64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func int64Op(f func(a, b int64) int64) ReduceFunc {
+	return func(a, b []byte) []byte {
+		av, bv := DecodeInt64(a), DecodeInt64(b)
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			out[i] = f(av[i], bv[i])
+		}
+		return EncodeInt64(out...)
+	}
+}
+
+func float64Op(f func(a, b float64) float64) ReduceFunc {
+	return func(a, b []byte) []byte {
+		av, bv := DecodeFloat64(a), DecodeFloat64(b)
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = f(av[i], bv[i])
+		}
+		return EncodeFloat64(out...)
+	}
+}
+
+// Standard reduction operators.
+var (
+	SumInt64 = int64Op(func(a, b int64) int64 { return a + b })
+	MaxInt64 = int64Op(func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	MinInt64 = int64Op(func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	SumFloat64 = float64Op(func(a, b float64) float64 { return a + b })
+	MaxFloat64 = float64Op(func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	MinFloat64 = float64Op(func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+)

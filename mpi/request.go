@@ -1,0 +1,78 @@
+package mpi
+
+import "fmt"
+
+// Request is a nonblocking-operation handle, completed by the Wait/Test
+// family. Tools may stash per-request state in ToolData (e.g. DAMPI hangs
+// piggyback bookkeeping off it).
+type Request struct {
+	id   uint64
+	kind RequestKind
+	proc *Proc
+	comm Comm
+	peer int // dest for sends; posted source for receives (may be AnySource)
+	tag  int // posted tag (may be AnyTag for receives)
+
+	data      []byte // payload: outgoing for sends, received for receives
+	done      bool
+	consumed  bool // a Wait/Test observed the completion
+	cancelled bool
+	status    Status
+
+	// ToolData is scratch space for tool layers; the runtime never touches
+	// it. It is safe to access from the owning rank only.
+	ToolData any
+}
+
+// Kind reports whether this is a send or receive request.
+func (r *Request) Kind() RequestKind { return r.kind }
+
+// Comm returns the communicator the request was posted on.
+func (r *Request) Comm() Comm { return r.comm }
+
+// Peer returns the destination rank (sends) or the posted source rank
+// (receives; AnySource if posted wildcard).
+func (r *Request) Peer() int { return r.peer }
+
+// Tag returns the posted tag (AnyTag for wildcard-tag receives).
+func (r *Request) Tag() int { return r.tag }
+
+// Data returns the payload. For receives it is valid only after a successful
+// Wait/Test observed completion.
+func (r *Request) Data() []byte { return r.data }
+
+// ReplaceData overwrites a completed receive's payload and adjusts the
+// status count. It exists for tool layers that pack auxiliary data into the
+// payload (e.g. in-band piggyback clocks) and must strip it before the
+// application looks: call it from a Complete hook only.
+func (r *Request) ReplaceData(d []byte) {
+	r.data = d
+	r.status.Count = len(d)
+}
+
+// Status returns the completion status; valid only after Wait/Test.
+func (r *Request) Status() Status { return r.status }
+
+func (r *Request) String() string {
+	return fmt.Sprintf("Request(%s #%d peer=%d tag=%d %s)", r.kind, r.id, r.peer, r.tag, r.comm)
+}
+
+// completeRecvLocked fills in a receive request from a matched envelope.
+// Caller holds the world lock and is responsible for waking the owner.
+func (r *Request) completeRecvLocked(env *envelope) {
+	r.data = env.data
+	r.status = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
+	r.done = true
+}
+
+// matchesEnv reports whether a posted receive can match an envelope under
+// MPI matching rules.
+func (r *Request) matchesEnv(env *envelope) bool {
+	if r.peer != AnySource && r.peer != env.src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != env.tag {
+		return false
+	}
+	return true
+}

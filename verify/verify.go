@@ -1,0 +1,249 @@
+// Package verify is the public entry point to DAMPI: scalable, distributed
+// dynamic formal verification of MPI programs over the space of
+// non-determinism (wildcard receives and probes), as described in "A Scalable
+// and Distributed Dynamic Formal Verifier for MPI Programs" (SC 2010).
+//
+// A verification runs the program once in self-discovery mode, computes every
+// potential alternate match of every wildcard receive using piggybacked
+// Lamport clocks, and then replays the program depth-first, forcing each
+// alternate match in turn, until the interleaving space — optionally bounded
+// by the bounded-mixing and loop-iteration-abstraction heuristics — is
+// covered. Deadlocks, program errors, resource leaks and the paper's §V
+// unsafe pattern are reported with deterministic reproducers.
+//
+//	result, err := verify.Run(verify.Config{Procs: 4}, program)
+//	if result.Errored() { ... result.Errors[0].Decisions reproduces it ... }
+package verify
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dampi/internal/core"
+	"dampi/internal/leak"
+	"dampi/internal/trace"
+	"dampi/mpi"
+)
+
+// ClockMode selects causality-tracking precision.
+type ClockMode = core.ClockMode
+
+// Clock modes (see the paper's §II-C and §II-F).
+const (
+	// Lamport is the scalable default.
+	Lamport = core.Lamport
+	// VectorClock is precise but costs O(procs) piggyback state.
+	VectorClock = core.VectorClock
+)
+
+// Unbounded disables bounded mixing: full depth-first coverage.
+const Unbounded = core.Unbounded
+
+// Transport selects the piggyback mechanism (paper §II-D).
+type Transport = core.Transport
+
+// Piggyback transports: Separate (the paper's shadow-communicator scheme,
+// default) or Inband payload packing.
+const (
+	Separate = core.Separate
+	Inband   = core.Inband
+)
+
+// InterleavingResult describes one explored interleaving (with its
+// reproducing decision set).
+type InterleavingResult = core.InterleavingResult
+
+// Decisions is the epoch-decisions artifact that reproduces an interleaving.
+type Decisions = core.Decisions
+
+// EpochID identifies a wildcard decision point: (rank, Lamport clock).
+type EpochID = core.EpochID
+
+// UnsafeReport is a §V omission-pattern alert.
+type UnsafeReport = core.UnsafeReport
+
+// RunTrace is one run's wildcard-epoch log (the Potential Matches artifact);
+// Result.FirstTrace holds the canonical run's. Save/LoadTrace round-trip it.
+type RunTrace = core.RunTrace
+
+// LoadDecisions reads an Epoch Decisions file saved with Decisions.Save.
+func LoadDecisions(path string) (*Decisions, error) { return core.LoadDecisions(path) }
+
+// LoadTrace reads a Potential Matches file saved with RunTrace.Save (or via
+// Config.ArtifactsDir).
+func LoadTrace(path string) (*RunTrace, error) { return core.LoadTrace(path) }
+
+// DecisionsFromTrace builds the decisions that replay a traced run.
+func DecisionsFromTrace(t *RunTrace) *Decisions { return core.DecisionsFromTrace(t) }
+
+// Config controls a verification.
+type Config struct {
+	// Procs is the number of MPI ranks to run the program with.
+	Procs int
+	// Clock selects Lamport (default) or vector clocks.
+	Clock ClockMode
+	// DualClock enables the paper's §V dual-Lamport-clock extension: a
+	// second, lagging transmit clock closes the omission pattern where a
+	// pending wildcard receive's clock escapes through a send or collective
+	// before its Wait/Test (Fig. 10). Sketched as future work in the paper;
+	// implemented here. Lamport mode only.
+	DualClock bool
+	// Transport selects the piggyback mechanism: Separate (default) or
+	// Inband payload packing.
+	Transport Transport
+	// MixingBound is the bounded-mixing k (default Unbounded = full
+	// coverage). k=0 explores each wildcard epoch's alternates in isolation;
+	// larger k allows k further decision levels below each flip to mix.
+	MixingBound int
+	// AutoLoopThreshold enables automatic loop detection (the paper's §VI
+	// future work): after this many consecutive same-signature wildcard
+	// epochs on a rank, further repetitions are treated like Pcontrol-
+	// marked loop iterations and not explored. 0 disables.
+	AutoLoopThreshold int
+	// MaxInterleavings caps the number of replays; 0 means unlimited.
+	MaxInterleavings int
+	// StopOnFirstError ends the search at the first failing interleaving.
+	StopOnFirstError bool
+	// CheckLeaks enables the communicator/request leak checks (Table II).
+	CheckLeaks bool
+	// CollectStats enables MPI operation statistics (Table I categories).
+	CollectStats bool
+	// OnInterleaving, if non-nil, observes every explored interleaving.
+	OnInterleaving func(res *InterleavingResult)
+	// ArtifactsDir, if non-empty, receives the run's file artifacts in the
+	// paper's workflow shape: potential_matches.json (the first run's epoch
+	// log) and error_<n>.decisions.json (one Epoch Decisions reproducer per
+	// failing interleaving, replayable with Replay or `dampi -replay`).
+	ArtifactsDir string
+}
+
+// Result is the outcome of a verification.
+type Result struct {
+	// Report is the coverage report: interleavings explored, errors with
+	// reproducers, deadlocks, R*, §V alerts.
+	*core.Report
+	// Leaks is the leak report of the first (canonical) run; nil unless
+	// CheckLeaks was set.
+	Leaks *leak.Report
+	// Stats holds operation statistics of the first run; nil unless
+	// CollectStats was set.
+	Stats *trace.Stats
+
+	leakTracker *leak.Tracker
+}
+
+// Summary renders a one-line human-readable result.
+func (r *Result) Summary() string {
+	s := fmt.Sprintf("interleavings=%d errors=%d deadlocks=%d wildcards=%d",
+		r.Interleavings, len(r.Errors), r.Deadlocks, r.WildcardsAnalyzed)
+	if r.Capped {
+		s += " (capped)"
+	}
+	if r.Leaks != nil {
+		s += fmt.Sprintf(" c-leak=%v r-leak=%v", r.Leaks.HasCommLeak(), r.Leaks.HasRequestLeak())
+	}
+	if len(r.Unsafe) > 0 {
+		s += fmt.Sprintf(" unsafe-patterns=%d", len(r.Unsafe))
+	}
+	return s
+}
+
+// Run verifies program over the space of MPI non-determinism.
+func Run(cfg Config, program func(p *mpi.Proc) error) (*Result, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("verify: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	if program == nil {
+		return nil, fmt.Errorf("verify: nil program")
+	}
+	res := &Result{}
+	firstRun := true
+	extra := func() []*mpi.Hooks {
+		var hs []*mpi.Hooks
+		if firstRun {
+			// Leak and statistics collection instrument the canonical
+			// (first) run only, matching the paper's single-run overhead
+			// and local-check methodology.
+			if cfg.CheckLeaks {
+				tr := leak.NewTracker()
+				hs = append(hs, tr.Hooks())
+				res.leakTracker = tr
+			}
+			if cfg.CollectStats {
+				res.Stats = trace.NewStats(cfg.Procs)
+				hs = append(hs, res.Stats.Hooks())
+			}
+			firstRun = false
+		}
+		return hs
+	}
+	ex := core.NewExplorer(core.ExplorerConfig{
+		Procs:             cfg.Procs,
+		Program:           program,
+		Clock:             cfg.Clock,
+		DualClock:         cfg.DualClock,
+		Transport:         cfg.Transport,
+		AutoLoopThreshold: cfg.AutoLoopThreshold,
+		MixingBound:       cfg.MixingBound,
+		MaxInterleavings:  cfg.MaxInterleavings,
+		StopOnFirstError:  cfg.StopOnFirstError,
+		ExtraHooks:        extra,
+		OnInterleaving:    cfg.OnInterleaving,
+	})
+	rep, err := ex.Explore()
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	if res.leakTracker != nil {
+		res.Leaks = res.leakTracker.Report()
+	}
+	if cfg.ArtifactsDir != "" {
+		if err := writeArtifacts(cfg.ArtifactsDir, res); err != nil {
+			return nil, fmt.Errorf("verify: writing artifacts: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// writeArtifacts dumps the potential-matches trace and per-error reproducers.
+func writeArtifacts(dir string, res *Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if res.FirstTrace != nil {
+		if err := res.FirstTrace.Save(filepath.Join(dir, "potential_matches.json")); err != nil {
+			return err
+		}
+	}
+	for i, e := range res.Errors {
+		name := fmt.Sprintf("error_%d.decisions.json", i)
+		if err := e.Decisions.Save(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarkLoopBegin marks the start of a loop whose wildcard matches should not
+// be explored (loop iteration abstraction, §III-B1). The application inserts
+// these around fixed-pattern loops, like MPI_Pcontrol in the paper.
+func MarkLoopBegin(p *mpi.Proc) { p.Pcontrol(core.PcontrolLoopLevel, core.LoopBegin) }
+
+// MarkLoopEnd marks the end of a loop opened by MarkLoopBegin.
+func MarkLoopEnd(p *mpi.Proc) { p.Pcontrol(core.PcontrolLoopLevel, core.LoopEnd) }
+
+// Replay runs program once with the given epoch decisions enforced — the
+// deterministic replay of a previously discovered interleaving (e.g. an
+// error reproducer from Result.Errors).
+func Replay(procs int, program func(p *mpi.Proc) error, d *Decisions) (*InterleavingResult, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("verify: Replay procs must be >= 1, got %d", procs)
+	}
+	if program == nil {
+		return nil, fmt.Errorf("verify: nil program")
+	}
+	_, res, err := core.Replay(core.ExplorerConfig{Procs: procs, Program: program}, d)
+	return res, err
+}

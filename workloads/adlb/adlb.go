@@ -1,0 +1,281 @@
+// Package adlb is a miniature reimplementation of Argonne's Asynchronous
+// Dynamic Load Balancing library (ADLB), the paper's most aggressively
+// non-deterministic workload (Figure 9). Dedicated server ranks hold work
+// queues; worker ranks Put and Get work units through request messages the
+// servers receive with MPI_ANY_SOURCE — every server receive is a wildcard
+// decision point, so the interleaving space explodes with scale exactly as
+// the paper describes ("verifying ADLB for a dozen processes is already
+// impractical" without bounding heuristics).
+package adlb
+
+import (
+	"fmt"
+
+	"dampi/mpi"
+)
+
+// Protocol tags.
+const (
+	tagPut = iota + 100
+	tagGet
+	tagResp
+	tagDone
+	tagSteal
+	tagServerDone
+	tagShutdown
+)
+
+// Config lays out the ADLB world.
+type Config struct {
+	// Servers is the number of dedicated server ranks (the first Servers
+	// ranks of the communicator). Default 1.
+	Servers int
+	// UseProbe makes servers discover requests with wildcard Probe before
+	// receiving (ADLB's polling style) instead of wildcard Recv. Both are
+	// non-deterministic decision points for the verifier.
+	UseProbe bool
+	// Steal enables one-hop work stealing: a server whose queue is empty
+	// forwards the Get to the next server, which answers the worker
+	// directly. More cross-server non-determinism, as in real ADLB.
+	Steal bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
+	return c
+}
+
+// Client is a worker's handle to the ADLB service.
+type Client struct {
+	p    *mpi.Proc
+	comm mpi.Comm
+	home int // this worker's server rank
+}
+
+// IsServer reports whether rank acts as a server under cfg.
+func IsServer(cfg Config, rank int) bool {
+	return rank < cfg.withDefaults().Servers
+}
+
+// NewClient creates the worker-side handle. Must be called on worker ranks
+// only.
+func NewClient(p *mpi.Proc, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if IsServer(cfg, p.Rank()) {
+		return nil, fmt.Errorf("adlb: rank %d is a server", p.Rank())
+	}
+	if cfg.Servers >= p.Size() {
+		return nil, fmt.Errorf("adlb: %d servers with world size %d leaves no workers", cfg.Servers, p.Size())
+	}
+	home := (p.Rank() - cfg.Servers) % cfg.Servers
+	return &Client{p: p, comm: p.CommWorld(), home: home}, nil
+}
+
+// Put stores a work unit on the worker's home server.
+func (cl *Client) Put(work []byte) error {
+	return cl.p.Send(cl.home, tagPut, work, cl.comm)
+}
+
+// Get requests a work unit. ok is false if no server had one. The response
+// may come from any server (work stealing forwards requests), so the reply
+// receive is itself a wildcard — one more source of non-determinism, as in
+// the real library.
+func (cl *Client) Get() (work []byte, ok bool, err error) {
+	if err := cl.p.Send(cl.home, tagGet, nil, cl.comm); err != nil {
+		return nil, false, err
+	}
+	data, st, err := cl.p.Recv(mpi.AnySource, tagResp, cl.comm)
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Count == 0 {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+// Done tells the home server this worker has finished. The client must not
+// be used afterwards.
+func (cl *Client) Done() error {
+	return cl.p.Send(cl.home, tagDone, nil, cl.comm)
+}
+
+// workersOf counts the workers homed on server s.
+func workersOf(cfg Config, size, s int) int {
+	n := 0
+	for w := cfg.Servers; w < size; w++ {
+		if (w-cfg.Servers)%cfg.Servers == s {
+			n++
+		}
+	}
+	return n
+}
+
+// RunServer runs the server loop on a server rank: service Put/Get/Done
+// requests, discovered through wildcard receives (or wildcard probes),
+// until the termination protocol completes. With one server that means all
+// homed workers reported Done; with several (work stealing can route
+// requests between servers at any time) servers report to server 0, which
+// broadcasts the shutdown once every server's workers have finished — real
+// ADLB's termination-detection concern in miniature.
+func RunServer(p *mpi.Proc, cfg Config) error {
+	cfg = cfg.withDefaults()
+	c := p.CommWorld()
+	me := p.Rank()
+	if !IsServer(cfg, me) {
+		return fmt.Errorf("adlb: rank %d is not a server", me)
+	}
+	expect := workersOf(cfg, p.Size(), me)
+	var queue [][]byte
+	done := 0
+	reported := false
+	serversDone := 0 // counted at server 0 only
+	shutdown := false
+	maybeReport := func() error {
+		if reported || done < expect {
+			return nil
+		}
+		reported = true
+		if me == 0 {
+			serversDone++
+		} else {
+			return p.Send(0, tagServerDone, nil, c)
+		}
+		return nil
+	}
+	if err := maybeReport(); err != nil { // zero-worker servers report at once
+		return err
+	}
+	if me == 0 && serversDone == cfg.Servers {
+		shutdown = true
+		for s := 1; s < cfg.Servers; s++ {
+			if err := p.Send(s, tagShutdown, nil, c); err != nil {
+				return err
+			}
+		}
+	}
+	for !shutdown {
+		var data []byte
+		var st mpi.Status
+		var err error
+		if cfg.UseProbe {
+			// ADLB's polling style: a wildcard probe commits the match
+			// decision, then a deterministic receive drains the message.
+			st, err = p.Probe(mpi.AnySource, mpi.AnyTag, c)
+			if err != nil {
+				return err
+			}
+			data, st, err = p.Recv(st.Source, st.Tag, c)
+		} else {
+			data, st, err = p.Recv(mpi.AnySource, mpi.AnyTag, c)
+		}
+		if err != nil {
+			return err
+		}
+		switch st.Tag {
+		case tagPut:
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			queue = append(queue, buf)
+		case tagGet:
+			if len(queue) == 0 && cfg.Steal && cfg.Servers > 1 {
+				// One-hop steal: ask the next server to answer the worker.
+				next := (me + 1) % cfg.Servers
+				if err := p.Send(next, tagSteal, mpi.EncodeInt64(int64(st.Source)), c); err != nil {
+					return err
+				}
+				break
+			}
+			var resp []byte
+			if len(queue) > 0 {
+				resp = queue[0]
+				queue = queue[1:]
+			}
+			if err := p.Send(st.Source, tagResp, resp, c); err != nil {
+				return err
+			}
+		case tagSteal:
+			// Answer the originating worker directly (empty if we have
+			// nothing either: one hop only, no ring traversal).
+			worker := int(mpi.DecodeInt64(data)[0])
+			var resp []byte
+			if len(queue) > 0 {
+				resp = queue[0]
+				queue = queue[1:]
+			}
+			if err := p.Send(worker, tagResp, resp, c); err != nil {
+				return err
+			}
+		case tagDone:
+			done++
+			if err := maybeReport(); err != nil {
+				return err
+			}
+		case tagServerDone:
+			serversDone++
+		case tagShutdown:
+			shutdown = true
+		default:
+			return fmt.Errorf("adlb: server %d got unknown tag %d from %d", me, st.Tag, st.Source)
+		}
+		if me == 0 && !shutdown && serversDone == cfg.Servers {
+			shutdown = true
+			for s := 1; s < cfg.Servers; s++ {
+				if err := p.Send(s, tagShutdown, nil, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DriverConfig shapes the Fig. 9 driver program.
+type DriverConfig struct {
+	// ADLB is the library layout.
+	ADLB Config
+	// PutsPerWorker is how many work units each worker contributes.
+	// Default 1.
+	PutsPerWorker int
+	// GetsPerWorker is how many Get attempts each worker makes. Default 1.
+	GetsPerWorker int
+}
+
+// Program returns the ADLB driver used in the paper's Figure 9: every
+// worker Puts units to its server, Gets units back (possibly produced by
+// other workers), and signs off; servers service the resulting storm of
+// non-deterministic requests.
+func Program(cfg DriverConfig) func(p *mpi.Proc) error {
+	if cfg.PutsPerWorker == 0 {
+		cfg.PutsPerWorker = 1
+	}
+	if cfg.GetsPerWorker == 0 {
+		cfg.GetsPerWorker = 1
+	}
+	return func(p *mpi.Proc) error {
+		if IsServer(cfg.ADLB, p.Rank()) {
+			return RunServer(p, cfg.ADLB)
+		}
+		cl, err := NewClient(p, cfg.ADLB)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.PutsPerWorker; i++ {
+			if err := cl.Put(mpi.EncodeInt64(int64(p.Rank()), int64(i))); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < cfg.GetsPerWorker; i++ {
+			work, ok, err := cl.Get()
+			if err != nil {
+				return err
+			}
+			if ok && len(work) != 16 {
+				return fmt.Errorf("adlb: worker %d got malformed unit (%d bytes)", p.Rank(), len(work))
+			}
+		}
+		return cl.Done()
+	}
+}

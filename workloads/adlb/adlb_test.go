@@ -1,0 +1,189 @@
+package adlb
+
+import (
+	"testing"
+
+	"dampi/mpi"
+	"dampi/verify"
+)
+
+func TestDriverRunsClean(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 6})
+	if err := w.Run(Program(DriverConfig{PutsPerWorker: 2, GetsPerWorker: 2})); err != nil {
+		t.Fatalf("adlb driver: %v", err)
+	}
+}
+
+func TestMultipleServers(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 9})
+	cfg := DriverConfig{ADLB: Config{Servers: 3}, PutsPerWorker: 2, GetsPerWorker: 1}
+	if err := w.Run(Program(cfg)); err != nil {
+		t.Fatalf("adlb 3 servers: %v", err)
+	}
+}
+
+func TestProbeModeServer(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 5})
+	cfg := DriverConfig{ADLB: Config{UseProbe: true}, PutsPerWorker: 1, GetsPerWorker: 1}
+	if err := w.Run(Program(cfg)); err != nil {
+		t.Fatalf("adlb probe mode: %v", err)
+	}
+}
+
+func TestClientAPI(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 3})
+	err := w.Run(func(p *mpi.Proc) error {
+		cfg := Config{}
+		if IsServer(cfg, p.Rank()) {
+			return RunServer(p, cfg)
+		}
+		cl, err := NewClient(p, cfg)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			// Producer: one unit.
+			if err := cl.Put(mpi.EncodeInt64(42, 0)); err != nil {
+				return err
+			}
+		}
+		// Everyone pulls until they have seen at least one response.
+		if _, _, err := cl.Get(); err != nil {
+			return err
+		}
+		return cl.Done()
+	})
+	if err != nil {
+		t.Fatalf("client API: %v", err)
+	}
+}
+
+func TestRoleErrors(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 2})
+	err := w.Run(func(p *mpi.Proc) error {
+		cfg := Config{}
+		if p.Rank() == 0 {
+			if _, err := NewClient(p, cfg); err == nil {
+				t.Error("NewClient on a server rank succeeded")
+			}
+			return RunServer(p, cfg)
+		}
+		if err := RunServer(p, cfg); err == nil {
+			t.Error("RunServer on a worker rank succeeded")
+		}
+		cl, err := NewClient(p, cfg)
+		if err != nil {
+			return err
+		}
+		return cl.Done()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestServerWildcardsAreDecisionPoints(t *testing.T) {
+	res, err := verify.Run(verify.Config{
+		Procs:            4,
+		MixingBound:      0,
+		MaxInterleavings: 200,
+	}, Program(DriverConfig{}))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if res.Errored() {
+		t.Fatalf("errors: %v (%v)", res.Errors[0], res.Errors[0].Err)
+	}
+	// 3 workers x (1 put + 1 get + 1 done) = 9 server wildcard receives,
+	// plus each worker's wildcard reply receive (responses can come from any
+	// server under stealing) = 12.
+	if res.WildcardsAnalyzed != 12 {
+		t.Errorf("R* = %d, want 12", res.WildcardsAnalyzed)
+	}
+	if res.Interleavings < 2 {
+		t.Errorf("no alternates explored: %d", res.Interleavings)
+	}
+}
+
+func TestProbeModeUnderVerifier(t *testing.T) {
+	res, err := verify.Run(verify.Config{
+		Procs:            4,
+		MixingBound:      0,
+		MaxInterleavings: 100,
+	}, Program(DriverConfig{ADLB: Config{UseProbe: true}}))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if res.Errored() {
+		t.Fatalf("errors: %v (%v)", res.Errors[0], res.Errors[0].Err)
+	}
+	if res.WildcardsAnalyzed == 0 {
+		t.Error("probe epochs not recorded")
+	}
+}
+
+func TestBoundedMixingGrowsWithProcs(t *testing.T) {
+	// The Fig. 9 shape: for fixed k, interleavings grow with world size.
+	var prev int
+	for _, procs := range []int{4, 6, 8} {
+		res, err := verify.Run(verify.Config{
+			Procs: procs, MixingBound: 0, MaxInterleavings: 2000,
+		}, Program(DriverConfig{}))
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if res.Errored() {
+			t.Fatalf("procs=%d errors: %v", procs, res.Errors)
+		}
+		if res.Interleavings <= prev {
+			t.Errorf("interleavings did not grow: %d procs -> %d (prev %d)",
+				procs, res.Interleavings, prev)
+		}
+		prev = res.Interleavings
+	}
+}
+
+func TestWorkStealing(t *testing.T) {
+	// Two servers; only workers homed on server 1 produce work, so server
+	// 0's Gets must be satisfied by stealing from server 1.
+	w := mpi.NewWorld(mpi.Config{Procs: 6})
+	cfg := Config{Servers: 2, Steal: true}
+	err := w.Run(func(p *mpi.Proc) error {
+		if IsServer(cfg, p.Rank()) {
+			return RunServer(p, cfg)
+		}
+		cl, err := NewClient(p, cfg)
+		if err != nil {
+			return err
+		}
+		// Workers 3 and 5 are homed on server 1 ((w-2)%2); they produce.
+		if cl.home == 1 {
+			if err := cl.Put(mpi.EncodeInt64(int64(p.Rank()), 0)); err != nil {
+				return err
+			}
+		}
+		if _, _, err := cl.Get(); err != nil {
+			return err
+		}
+		return cl.Done()
+	})
+	if err != nil {
+		t.Fatalf("steal run: %v", err)
+	}
+}
+
+func TestStealUnderVerifier(t *testing.T) {
+	cfg := DriverConfig{ADLB: Config{Servers: 2, Steal: true}, PutsPerWorker: 1, GetsPerWorker: 1}
+	res, err := verify.Run(verify.Config{
+		Procs: 6, MixingBound: 0, MaxInterleavings: 500,
+	}, Program(cfg))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if res.Errored() {
+		t.Fatalf("errors: %v (%v)", res.Errors[0], res.Errors[0].Err)
+	}
+	if res.WildcardsAnalyzed == 0 {
+		t.Error("no wildcard epochs under stealing config")
+	}
+}

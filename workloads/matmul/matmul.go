@@ -1,0 +1,185 @@
+// Package matmul implements the paper's matrix-multiplication benchmark: a
+// master/slave computation of C = A×B in which the master broadcasts B,
+// deals out row blocks of A, and collects results with wildcard receives —
+// the canonical non-deterministic workload of Figures 6 and 8.
+package matmul
+
+import (
+	"fmt"
+
+	"dampi/mpi"
+)
+
+// Message tags of the master/slave protocol.
+const (
+	tagWork = iota + 1
+	tagResult
+	tagStop
+)
+
+// Config sizes the computation.
+type Config struct {
+	// Rows is the number of rows of A (each row is one work unit; each is
+	// one wildcard receive at the master). Defaults to 2×(procs-1).
+	Rows int
+	// Cols is the number of columns of B. Default 4.
+	Cols int
+	// Inner is the inner (shared) dimension. Default 4.
+	Inner int
+	// MarkLoop wraps the master's collection loop in Pcontrol loop markers
+	// (loop iteration abstraction).
+	MarkLoop bool
+}
+
+func (c Config) withDefaults(procs int) Config {
+	if c.Rows == 0 {
+		c.Rows = 2 * (procs - 1)
+		if c.Rows < 1 {
+			c.Rows = 1
+		}
+	}
+	if c.Cols == 0 {
+		c.Cols = 4
+	}
+	if c.Inner == 0 {
+		c.Inner = 4
+	}
+	return c
+}
+
+// Program returns the matmul MPI program. Rank 0 is the master; it verifies
+// the product against a locally computed reference, so a mismatched or
+// misattributed result is a detected error, not a silent wrong answer.
+func Program(cfg Config) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("matmul: needs at least 2 ranks, got %d", p.Size())
+		}
+		c := cfg.withDefaults(p.Size())
+		if p.Rank() == 0 {
+			return master(p, c)
+		}
+		return slave(p, c)
+	}
+}
+
+// a returns element (i,k) of the deterministic test matrix A.
+func a(i, k int) float64 { return float64(i + 2*k + 1) }
+
+// b returns element (k,j) of the deterministic test matrix B.
+func b(k, j int) float64 { return float64(3*k - j + 2) }
+
+func master(p *mpi.Proc, cfg Config) error {
+	comm := p.CommWorld()
+	slaves := p.Size() - 1
+
+	// Broadcast B.
+	bm := make([]float64, cfg.Inner*cfg.Cols)
+	for k := 0; k < cfg.Inner; k++ {
+		for j := 0; j < cfg.Cols; j++ {
+			bm[k*cfg.Cols+j] = b(k, j)
+		}
+	}
+	if _, err := p.Bcast(comm, 0, mpi.EncodeFloat64(bm...)); err != nil {
+		return err
+	}
+
+	// Deal one row to each slave.
+	nextRow := 0
+	outstanding := 0
+	sendRow := func(dest int) error {
+		row := make([]float64, cfg.Inner+1)
+		row[0] = float64(nextRow)
+		for k := 0; k < cfg.Inner; k++ {
+			row[k+1] = a(nextRow, k)
+		}
+		nextRow++
+		outstanding++
+		return p.Send(dest, tagWork, mpi.EncodeFloat64(row...), comm)
+	}
+	for s := 1; s <= slaves && nextRow < cfg.Rows; s++ {
+		if err := sendRow(s); err != nil {
+			return err
+		}
+	}
+
+	// Collect results with wildcard receives; hand out remaining rows.
+	result := make([][]float64, cfg.Rows)
+	if cfg.MarkLoop {
+		p.Pcontrol(1, "loop:begin")
+	}
+	for outstanding > 0 {
+		data, st, err := p.Recv(mpi.AnySource, tagResult, comm)
+		if err != nil {
+			return err
+		}
+		outstanding--
+		vals := mpi.DecodeFloat64(data)
+		rowIdx := int(vals[0])
+		if rowIdx < 0 || rowIdx >= cfg.Rows || result[rowIdx] != nil {
+			return fmt.Errorf("matmul: master got bad/duplicate row %d from slave %d", rowIdx, st.Source)
+		}
+		result[rowIdx] = vals[1:]
+		if nextRow < cfg.Rows {
+			if err := sendRow(st.Source); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.MarkLoop {
+		p.Pcontrol(1, "loop:end")
+	}
+
+	// Stop all slaves.
+	for s := 1; s <= slaves; s++ {
+		if err := p.Send(s, tagStop, nil, comm); err != nil {
+			return err
+		}
+	}
+
+	// Verify against the reference product.
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			want := 0.0
+			for k := 0; k < cfg.Inner; k++ {
+				want += a(i, k) * b(k, j)
+			}
+			if got := result[i][j]; got != want {
+				return fmt.Errorf("matmul: C[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func slave(p *mpi.Proc, cfg Config) error {
+	comm := p.CommWorld()
+	bdata, err := p.Bcast(comm, 0, nil)
+	if err != nil {
+		return err
+	}
+	bm := mpi.DecodeFloat64(bdata)
+	for {
+		data, st, err := p.Recv(0, mpi.AnyTag, comm)
+		if err != nil {
+			return err
+		}
+		if st.Tag == tagStop {
+			return nil
+		}
+		vals := mpi.DecodeFloat64(data)
+		rowIdx, row := vals[0], vals[1:]
+		out := make([]float64, cfg.Cols+1)
+		out[0] = rowIdx
+		for j := 0; j < cfg.Cols; j++ {
+			sum := 0.0
+			for k := 0; k < cfg.Inner; k++ {
+				sum += row[k] * bm[k*cfg.Cols+j]
+			}
+			out[j+1] = sum
+		}
+		if err := p.Send(0, tagResult, mpi.EncodeFloat64(out...), comm); err != nil {
+			return err
+		}
+	}
+}

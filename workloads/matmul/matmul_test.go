@@ -1,0 +1,79 @@
+package matmul
+
+import (
+	"strings"
+	"testing"
+
+	"dampi/mpi"
+	"dampi/verify"
+)
+
+func TestMatmulComputesCorrectProduct(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 4})
+	if err := w.Run(Program(Config{Rows: 7, Cols: 3, Inner: 5})); err != nil {
+		t.Fatalf("matmul failed: %v", err)
+	}
+}
+
+func TestMatmulManySlaves(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 16})
+	if err := w.Run(Program(Config{Rows: 40})); err != nil {
+		t.Fatalf("matmul failed: %v", err)
+	}
+}
+
+func TestMatmulFewerRowsThanSlaves(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 8})
+	if err := w.Run(Program(Config{Rows: 3})); err != nil {
+		t.Fatalf("matmul failed: %v", err)
+	}
+}
+
+func TestMatmulRejectsSingleRank(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 1})
+	err := w.Run(Program(Config{}))
+	if err == nil || !strings.Contains(err.Error(), "at least 2 ranks") {
+		t.Fatalf("expected rank-count error, got %v", err)
+	}
+}
+
+func TestMatmulCorrectUnderEveryInterleaving(t *testing.T) {
+	// The master verifies the product, so exploring all wildcard match
+	// orders proves result integrity is interleaving-independent.
+	res, err := verify.Run(verify.Config{
+		Procs:            4,
+		MixingBound:      verify.Unbounded,
+		MaxInterleavings: 300,
+	}, Program(Config{}))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if res.Errored() {
+		t.Fatalf("interleaving broke the product: %v (%v)", res.Errors[0], res.Errors[0].Err)
+	}
+	if res.WildcardsAnalyzed != 6 { // Rows = 2*(4-1)
+		t.Errorf("R* = %d, want 6", res.WildcardsAnalyzed)
+	}
+	if res.Deadlocks != 0 {
+		t.Errorf("deadlocks = %d", res.Deadlocks)
+	}
+}
+
+func TestMatmulBoundedMixingMonotone(t *testing.T) {
+	counts := map[int]int{}
+	for _, k := range []int{0, 1, verify.Unbounded} {
+		res, err := verify.Run(verify.Config{
+			Procs: 4, MixingBound: k, MaxInterleavings: 500,
+		}, Program(Config{}))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Errored() {
+			t.Fatalf("k=%d errors: %v", k, res.Errors)
+		}
+		counts[k] = res.Interleavings
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[verify.Unbounded]) {
+		t.Errorf("bounded mixing not strictly increasing on matmul: %v", counts)
+	}
+}

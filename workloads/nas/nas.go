@@ -1,0 +1,233 @@
+// Package nas provides communication proxies for the NAS Parallel
+// Benchmarks 3.3 kernels used in the paper's Table II (BT, CG, DT, EP, FT,
+// IS, LU, MG). Each proxy reproduces the kernel's characteristic
+// communication skeleton and the verification-relevant features the paper
+// reports: the wildcard-receive volume (R*) and the resource-leak defects
+// (C-leak). Computation is token-sized; the verifier's overhead scales with
+// operation structure, which is what Table II measures.
+package nas
+
+import (
+	"fmt"
+
+	"dampi/mpi"
+	"dampi/workloads/skeleton"
+)
+
+// Config controls the proxies.
+type Config struct {
+	// Iters is the number of outer iterations ("time steps"). Default 4.
+	Iters int
+	// Scale divides per-iteration traffic volumes. Default 1 (the proxies
+	// are already small).
+	Scale int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iters == 0 {
+		c.Iters = 4
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+func (c Config) volume(base int) int {
+	v := base / c.Scale
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// BT is the block-tridiagonal solver proxy: 3-D face exchanges in each of
+// three sweep directions per iteration, ending in a residual reduction.
+// Table II: C-leak = Yes, R* = 0.
+func BT(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		// BT creates per-direction communicators during setup and never
+		// frees them — the Table II defect.
+		if _, err := skeleton.LeakComm(p, c); err != nil {
+			return err
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			for dir := 0; dir < 3; dir++ {
+				if err := skeleton.HaloExchange(p, c, cfg.volume(4), 3, 0.8); err != nil {
+					return err
+				}
+			}
+			if err := skeleton.ReduceRounds(p, c, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// CG is the conjugate-gradient proxy: transpose-style pair exchanges plus
+// two dot-product reductions per iteration. R* = 0.
+func CG(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for it := 0; it < cfg.Iters; it++ {
+			if err := skeleton.HaloExchange(p, c, cfg.volume(6), 2, 0.9); err != nil {
+				return err
+			}
+			if err := skeleton.ReduceRounds(p, c, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// DT is the data-traffic graph proxy: a shallow source->sink forwarding
+// tree with very little communication (the paper measures 1.01x slowdown).
+func DT(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		n := p.Size()
+		me := p.Rank()
+		parent := (me - 1) / 2
+		left, right := 2*me+1, 2*me+2
+		for it := 0; it < cfg.Iters; it++ {
+			// Leaves feed data up the binary tree to the root.
+			if left < n {
+				if _, _, err := p.Recv(left, 1, c); err != nil {
+					return err
+				}
+			}
+			if right < n {
+				if _, _, err := p.Recv(right, 1, c); err != nil {
+					return err
+				}
+			}
+			if me != 0 {
+				if err := p.Send(parent, 1, mpi.EncodeInt64(int64(me)), c); err != nil {
+					return err
+				}
+			}
+			if err := p.Barrier(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// EP is the embarrassingly-parallel proxy: local computation with one
+// final reduction per iteration.
+func EP(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		acc := 0.0
+		for it := 0; it < cfg.Iters; it++ {
+			for i := 0; i < 256; i++ { // token-sized "random walk"
+				acc += float64((p.Rank()*1103515245 + i) % 97)
+			}
+		}
+		sum, err := p.Allreduce(c, mpi.EncodeFloat64(acc), mpi.SumFloat64)
+		if err != nil {
+			return err
+		}
+		if len(sum) == 0 {
+			return fmt.Errorf("nas: EP reduction returned nothing")
+		}
+		return nil
+	}
+}
+
+// FT is the 3-D FFT proxy: all-to-all transposes dominate. Table II:
+// C-leak = Yes (the transpose communicator is never freed).
+func FT(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		leaked, err := skeleton.LeakComm(p, c)
+		if err != nil {
+			return err
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			if err := skeleton.TransposeRounds(p, leaked, cfg.volume(2)); err != nil {
+				return err
+			}
+			if err := skeleton.ReduceRounds(p, c, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// IS is the integer-sort proxy: bucket histograms via Allreduce and key
+// redistribution via Alltoall.
+func IS(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for it := 0; it < cfg.Iters; it++ {
+			if err := skeleton.ReduceRounds(p, c, 1); err != nil {
+				return err
+			}
+			if err := skeleton.TransposeRounds(p, c, cfg.volume(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// LU is the lower-upper solver proxy: pipelined wavefront sweeps whose
+// boundary exchanges post wildcard receives — the paper reports R* = 1K at
+// 1024 procs, i.e. about one wildcard receive per rank.
+func LU(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		for it := 0; it < cfg.Iters; it++ {
+			wildcard := it == 0 // one wildcard sweep: R* ~= procs, as in the paper
+			if err := skeleton.Wavefront(p, c, cfg.volume(1), wildcard); err != nil {
+				return err
+			}
+			if err := skeleton.ReduceRounds(p, c, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// MG is the multigrid proxy: V-cycle halo exchanges at halving strides with
+// a norm reduction per cycle.
+func MG(cfg Config) func(p *mpi.Proc) error {
+	cfg = cfg.withDefaults()
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		levels := 1
+		for 1<<levels < p.Size() {
+			levels++
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			for lvl := levels; lvl >= 1; lvl-- { // down the V
+				if err := skeleton.HaloExchange(p, c, cfg.volume(1), lvl, 0.7); err != nil {
+					return err
+				}
+			}
+			for lvl := 1; lvl <= levels; lvl++ { // back up
+				if err := skeleton.HaloExchange(p, c, cfg.volume(1), lvl, 0.7); err != nil {
+					return err
+				}
+			}
+			if err := skeleton.ReduceRounds(p, c, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

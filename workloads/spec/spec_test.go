@@ -1,0 +1,69 @@
+package spec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dampi/mpi"
+)
+
+var codes = map[string]func(Config) func(*mpi.Proc) error{
+	"104.milc": Milc, "107.leslie3d": Leslie3d, "113.GemsFDTD": GemsFDTD,
+	"126.lammps": Lammps, "130.socorro": Socorro, "137.lu": Lu137,
+}
+
+func TestCodesRunAtVariousScales(t *testing.T) {
+	for name, f := range codes {
+		t.Run(name, func(t *testing.T) {
+			for _, procs := range []int{2, 4, 9, 16} {
+				w := mpi.NewWorld(mpi.Config{Procs: procs})
+				if err := w.Run(f(Config{Iters: 2})); err != nil {
+					t.Fatalf("%s at %d procs: %v", name, procs, err)
+				}
+			}
+		})
+	}
+}
+
+// countWildcards runs a program and counts wildcard receive posts.
+func countWildcards(t *testing.T, procs int, program func(*mpi.Proc) error) int64 {
+	t.Helper()
+	var n atomic.Int64
+	hooks := &mpi.Hooks{
+		PostRecv: func(p *mpi.Proc, op *mpi.RecvOp, r *mpi.Request) {
+			if op.WasAnySource {
+				n.Add(1)
+			}
+		},
+	}
+	w := mpi.NewWorld(mpi.Config{Procs: procs, Hooks: hooks})
+	if err := w.Run(program); err != nil {
+		t.Fatal(err)
+	}
+	return n.Load()
+}
+
+func TestMilcWildcardVolumeScalesLikeTableII(t *testing.T) {
+	// Table II: R* = 51K at 1024 procs, i.e. ~50 per rank. At 8 ranks the
+	// proxy should post ~400 wildcard receives.
+	got := countWildcards(t, 8, Milc(Config{}))
+	if got < 300 || got > 500 {
+		t.Errorf("milc wildcards at 8 procs = %d, want ~400", got)
+	}
+}
+
+func TestLu137WildcardsAreSparse(t *testing.T) {
+	// Table II: R* = 732 at 1024 procs — about 0.7 per rank.
+	got := countWildcards(t, 16, Lu137(Config{}))
+	if got < 8 || got > 16 {
+		t.Errorf("137.lu wildcards at 16 procs = %d, want ~11 (715/1024 of ranks)", got)
+	}
+}
+
+func TestDeterministicCodesHaveNoWildcards(t *testing.T) {
+	for _, name := range []string{"107.leslie3d", "113.GemsFDTD", "126.lammps", "130.socorro"} {
+		if got := countWildcards(t, 8, codes[name](Config{})); got != 0 {
+			t.Errorf("%s wildcards = %d, want 0", name, got)
+		}
+	}
+}

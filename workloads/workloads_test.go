@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"testing"
+
+	"dampi/mpi"
+	"dampi/verify"
+)
+
+// TestAllWorkloadsRunClean executes every registered workload natively (no
+// verifier) at a small scale.
+func TestAllWorkloadsRunClean(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			procs := w.MinProcs
+			if procs < 4 {
+				procs = 4
+			}
+			world := mpi.NewWorld(mpi.Config{Procs: procs})
+			if err := world.Run(w.Program(Params{Procs: procs})); err != nil {
+				t.Fatalf("%s failed natively: %v", w.Name, err)
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsUnderDAMPI verifies every workload's first interleaving
+// under full instrumentation and checks the Table II features: wildcard
+// presence (R*) and the implanted communicator leaks.
+func TestAllWorkloadsUnderDAMPI(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			procs := w.MinProcs
+			if procs < 4 {
+				procs = 4
+			}
+			res, err := verify.Run(verify.Config{
+				Procs:            procs,
+				MaxInterleavings: 3,
+				CheckLeaks:       true,
+				CollectStats:     true,
+			}, w.Program(Params{Procs: procs}))
+			if err != nil {
+				t.Fatalf("verify.Run: %v", err)
+			}
+			if res.Errored() {
+				t.Fatalf("%s: unexpected verification errors: %v (%v)",
+					w.Name, res.Errors[0], res.Errors[0].Err)
+			}
+			if w.HasWildcards && res.WildcardsAnalyzed == 0 {
+				t.Errorf("%s: expected wildcard receives, R* = 0", w.Name)
+			}
+			if !w.HasWildcards && res.WildcardsAnalyzed != 0 {
+				t.Errorf("%s: expected deterministic program, R* = %d", w.Name, res.WildcardsAnalyzed)
+			}
+			if got := res.Leaks.HasCommLeak(); got != w.ExpectCommLeak {
+				t.Errorf("%s: C-leak = %v, want %v (%v)", w.Name, got, w.ExpectCommLeak, res.Leaks.CommLeaks)
+			}
+			if res.Leaks.HasRequestLeak() {
+				t.Errorf("%s: unexpected R-leak: %v", w.Name, res.Leaks.RequestLeaks)
+			}
+			if res.Stats.Totals().All == 0 {
+				t.Errorf("%s: no operations recorded", w.Name)
+			}
+		})
+	}
+}
+
+// TestWorkloadsUnderInbandTransport re-runs the suite's first interleaving
+// with the in-band piggyback transport: both §II-D mechanisms must handle
+// every communication pattern the proxies produce.
+func TestWorkloadsUnderInbandTransport(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			procs := w.MinProcs
+			if procs < 4 {
+				procs = 4
+			}
+			res, err := verify.Run(verify.Config{
+				Procs:            procs,
+				Transport:        verify.Inband,
+				MaxInterleavings: 2,
+			}, w.Program(Params{Procs: procs}))
+			if err != nil {
+				t.Fatalf("verify.Run: %v", err)
+			}
+			if res.Errored() {
+				t.Fatalf("%s under inband transport: %v", w.Name, res.Errors[0].Err)
+			}
+			if w.HasWildcards && res.WildcardsAnalyzed == 0 {
+				t.Errorf("%s: R* = 0 under inband transport", w.Name)
+			}
+		})
+	}
+}
+
+func TestGetUnknownWorkload(t *testing.T) {
+	if _, err := Get("no-such-benchmark"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	w, err := Get("matmul")
+	if err != nil || w.Name != "matmul" {
+		t.Fatalf("Get(matmul) = %v, %v", w, err)
+	}
+}
+
+func TestTableIIRowsComplete(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 15 {
+		t.Fatalf("Table II rows = %d, want 15", len(rows))
+	}
+	for i, w := range rows {
+		if w == nil {
+			t.Fatalf("Table II row %d missing", i)
+		}
+	}
+}
+
+func TestWorkloadsAtLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run")
+	}
+	// A 64-rank native pass over representative proxies exercises the
+	// runtime at modest scale.
+	for _, name := range []string{"ParMETIS-3.1", "104.milc", "LU", "FT"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world := mpi.NewWorld(mpi.Config{Procs: 64})
+		if err := world.Run(w.Program(Params{Procs: 64, Scale: 200, Iters: 2})); err != nil {
+			t.Fatalf("%s at 64 procs: %v", name, err)
+		}
+	}
+}
