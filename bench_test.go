@@ -209,6 +209,66 @@ func BenchmarkFig9_ADLB(b *testing.B) {
 	}
 }
 
+// --- Parallel exploration engine ------------------------------------------
+
+// BenchmarkParallelExplore_Matmul sweeps the worker-pool size over the
+// Figure 6 matmul configuration (workers=0 is the serial legacy explorer).
+// Wall-clock gains track the machine's core count; the interleavings metric
+// shows the covered set is identical at every pool size.
+func BenchmarkParallelExplore_Matmul(b *testing.B) {
+	prog := matmul.Program(matmul.Config{})
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			count := 0
+			for i := 0; i < b.N; i++ {
+				res, err := verify.Run(verify.Config{
+					Procs: 8, MaxInterleavings: 2000, Workers: workers,
+				}, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errored() {
+					b.Fatal(res.Errors[0].Err)
+				}
+				count = res.Interleavings
+			}
+			b.ReportMetric(float64(count), "interleavings")
+		})
+	}
+}
+
+// BenchmarkParallelExplore_ADLB sweeps the worker-pool size over the
+// Figure 9 ADLB configuration at k=1.
+func BenchmarkParallelExplore_ADLB(b *testing.B) {
+	prog := adlb.Program(adlb.DriverConfig{})
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			count := 0
+			for i := 0; i < b.N; i++ {
+				res, err := verify.Run(verify.Config{
+					Procs: 8, MixingBound: 1, MaxInterleavings: 2000, Workers: workers,
+				}, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errored() {
+					b.Fatal(res.Errors[0].Err)
+				}
+				count = res.Interleavings
+			}
+			b.ReportMetric(float64(count), "interleavings")
+		})
+	}
+}
+
 // --- Ablations -------------------------------------------------------------
 
 // Ablation 1 (DESIGN.md): Lamport vs vector clocks — the per-run

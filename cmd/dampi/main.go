@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dampi/internal/isp"
 	"dampi/verify"
@@ -45,6 +46,10 @@ func main() {
 		autoloop   = flag.Int("autoloop", 0, "auto loop detection threshold (0 = off)")
 		scale      = flag.Int("scale", 100, "traffic divisor for proxy workloads")
 		iters      = flag.Int("iters", 4, "outer iterations for proxy workloads")
+		workers    = flag.Int("workers", 0, "parallel replay workers (0 = serial explorer)")
+		ckpFile    = flag.String("checkpoint", "", "frontier checkpoint FILE (parallel engine)")
+		ckpEvery   = flag.Int("checkpoint-every", 0, "replays between checkpoint writes (0 = default)")
+		resume     = flag.Bool("resume", false, "resume exploration from -checkpoint")
 		verbose    = flag.Bool("v", false, "print each interleaving as it is explored")
 	)
 	flag.Parse()
@@ -130,6 +135,13 @@ func main() {
 		fatal(fmt.Errorf("unknown transport %q", *transport))
 	}
 
+	if *resume && *ckpFile == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *resume && *workers < 1 {
+		fatal(fmt.Errorf("-resume requires -workers >= 1"))
+	}
+
 	cfg := verify.Config{
 		Procs:             *procs,
 		Clock:             cm,
@@ -141,17 +153,29 @@ func main() {
 		StopOnFirstError:  *stopErr,
 		CheckLeaks:        *leaks,
 		CollectStats:      *stats,
+		Workers:           *workers,
+		CheckpointFile:    *ckpFile,
+		CheckpointEvery:   *ckpEvery,
+		Resume:            *resume,
 	}
 	if *verbose {
 		cfg.OnInterleaving = func(res *verify.InterleavingResult) {
 			fmt.Printf("  %v\n", res)
 		}
+		if *workers > 0 {
+			cfg.OnProgress = func(p verify.Progress) {
+				fmt.Printf("  progress: %d interleavings (%.1f/sec) frontier=%d busy=%d\n",
+					p.Interleavings, p.PerSecond, p.FrontierDepth, p.Busy)
+			}
+		}
 	}
 
+	start := time.Now()
 	res, err := verify.Run(cfg, prog)
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(start)
 
 	fmt.Printf("DAMPI: %s\n", res.Summary())
 	for _, u := range res.Unsafe {
@@ -186,6 +210,12 @@ func main() {
 		}
 		fmt.Printf("  reproducer saved to %s\n", *decFile)
 	}
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(res.Interleavings) / s
+	}
+	fmt.Printf("explored %d interleavings in %v (%.1f interleavings/sec)\n",
+		res.Interleavings, elapsed.Round(time.Millisecond), rate)
 	if res.Errored() {
 		os.Exit(1)
 	}

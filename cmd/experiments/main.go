@@ -34,11 +34,12 @@ func main() {
 		fig9   = flag.Bool("fig9", false, "Figure 9: ADLB under bounded mixing")
 		ablate = flag.Bool("ablations", false, "ablations: clock modes, piggyback transports, loop abstraction")
 
-		procs = flag.Int("procs", 0, "override world size (Table II; paper uses 1024)")
-		scale = flag.Int("scale", 100, "traffic divisor for the ParMETIS proxy")
-		iters = flag.Int("iters", 4, "outer iterations for Table II proxies")
-		capN  = flag.Int("cap", 2000, "interleaving cap for Figures 8/9")
-		reps  = flag.Int("reps", 3, "timing repetitions (min taken) for Table II")
+		procs   = flag.Int("procs", 0, "override world size (Table II; paper uses 1024)")
+		scale   = flag.Int("scale", 100, "traffic divisor for the ParMETIS proxy")
+		iters   = flag.Int("iters", 4, "outer iterations for Table II proxies")
+		capN    = flag.Int("cap", 2000, "interleaving cap for Figures 8/9")
+		reps    = flag.Int("reps", 3, "timing repetitions (min taken) for Table II")
+		workers = flag.Int("workers", 0, "parallel replay workers for exploration experiments (0 = serial)")
 	)
 	flag.Parse()
 	if !(*all || *fig5 || *table1 || *table2 || *fig6 || *fig8 || *fig9 || *ablate) {
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	if *all || *fig5 {
-		run("fig5", func() error { return printFig5(*scale) })
+		run("fig5", func() error { return printFig5(*scale, *workers) })
 	}
 	if *all || *table1 {
 		run("table1", func() error { return printTable1(*scale) })
@@ -67,13 +68,13 @@ func main() {
 		run("table2", func() error { return printTable2(p, *iters, *reps) })
 	}
 	if *all || *fig6 {
-		run("fig6", printFig6)
+		run("fig6", func() error { return printFig6(*workers) })
 	}
 	if *all || *fig8 {
-		run("fig8", func() error { return printFig8(*capN) })
+		run("fig8", func() error { return printFig8(*capN, *workers) })
 	}
 	if *all || *fig9 {
-		run("fig9", func() error { return printFig9(*capN) })
+		run("fig9", func() error { return printFig9(*capN, *workers) })
 	}
 	if *all || *ablate {
 		run("ablations", printAblations)
@@ -137,9 +138,9 @@ func printAblations() error {
 	return nil
 }
 
-func printFig5(scale int) error {
+func printFig5(scale, workers int) error {
 	fmt.Printf("## Figure 5 — ParMETIS-3.1 proxy: verification time, DAMPI vs ISP (traffic /%d)\n\n", scale)
-	rows, err := experiments.Fig5([]int{4, 8, 12, 16, 20, 24, 28, 32}, scale)
+	rows, err := experiments.Fig5([]int{4, 8, 12, 16, 20, 24, 28, 32}, scale, workers)
 	if err != nil {
 		return err
 	}
@@ -200,10 +201,10 @@ func printTable2(procs, iters, reps int) error {
 	return nil
 }
 
-func printFig6() error {
+func printFig6(workers int) error {
 	fmt.Println("## Figure 6 — matmul: time to explore interleavings, DAMPI vs ISP (8 procs)")
 	fmt.Println()
-	rows, err := experiments.Fig6([]int{250, 500, 750, 1000}, 8)
+	rows, err := experiments.Fig6([]int{250, 500, 750, 1000}, 8, workers)
 	if err != nil {
 		return err
 	}
@@ -217,18 +218,18 @@ func printFig6() error {
 	return nil
 }
 
-func printFig8(capN int) error {
+func printFig8(capN, workers int) error {
 	fmt.Printf("## Figure 8 — matmul with bounded mixing: interleavings by k (cap %d)\n\n", capN)
-	rows, err := experiments.Fig8([]int{2, 3, 4, 5, 6, 7, 8}, []int{0, 1, 2, verify.Unbounded}, capN)
+	rows, err := experiments.Fig8([]int{2, 3, 4, 5, 6, 7, 8}, []int{0, 1, 2, verify.Unbounded}, capN, workers)
 	if err != nil {
 		return err
 	}
 	return printMixing(rows, []int{0, 1, 2, verify.Unbounded})
 }
 
-func printFig9(capN int) error {
+func printFig9(capN, workers int) error {
 	fmt.Printf("## Figure 9 — ADLB with bounded mixing: interleavings by k (cap %d)\n\n", capN)
-	rows, err := experiments.Fig9([]int{4, 8, 12, 16, 20, 24, 28, 32}, []int{0, 1, 2}, capN)
+	rows, err := experiments.Fig9([]int{4, 8, 12, 16, 20, 24, 28, 32}, []int{0, 1, 2}, capN, workers)
 	if err != nil {
 		return err
 	}

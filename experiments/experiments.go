@@ -37,8 +37,9 @@ type Fig5Row struct {
 
 // Fig5 runs the ParMETIS proxy under no tool, DAMPI, and ISP for each world
 // size. ParMETIS has no wildcards, so each verification is exactly one run —
-// Figure 5 measures pure instrumentation architecture overhead.
-func Fig5(procSizes []int, scale int) ([]Fig5Row, error) {
+// Figure 5 measures pure instrumentation architecture overhead. workers
+// selects the parallel exploration engine (0 = serial).
+func Fig5(procSizes []int, scale, workers int) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, procs := range procSizes {
 		prog := parmetis.Program(parmetis.Config{Scale: scale, LeakComm: false})
@@ -51,7 +52,7 @@ func Fig5(procSizes []int, scale int) ([]Fig5Row, error) {
 		native := time.Since(start)
 
 		start = time.Now()
-		res, err := verify.Run(verify.Config{Procs: procs, MaxInterleavings: 1}, prog)
+		res, err := verify.Run(verify.Config{Procs: procs, MaxInterleavings: 1, Workers: workers}, prog)
 		if err != nil {
 			return nil, fmt.Errorf("fig5 dampi p=%d: %w", procs, err)
 		}
@@ -179,13 +180,14 @@ type Fig6Row struct {
 }
 
 // Fig6 explores matmul interleavings up to each target count under DAMPI
-// and ISP, timing the whole exploration.
-func Fig6(targets []int, procs int) ([]Fig6Row, error) {
+// and ISP, timing the whole exploration. workers selects the parallel
+// exploration engine (0 = serial).
+func Fig6(targets []int, procs, workers int) ([]Fig6Row, error) {
 	prog := matmul.Program(matmul.Config{})
 	var rows []Fig6Row
 	for _, n := range targets {
 		start := time.Now()
-		res, err := verify.Run(verify.Config{Procs: procs, MaxInterleavings: n}, prog)
+		res, err := verify.Run(verify.Config{Procs: procs, MaxInterleavings: n, Workers: workers}, prog)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 dampi n=%d: %w", n, err)
 		}
@@ -218,8 +220,9 @@ type MixingRow struct {
 	Capped        bool
 }
 
-// Fig8 counts matmul interleavings per mixing bound per world size.
-func Fig8(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
+// Fig8 counts matmul interleavings per mixing bound per world size. workers
+// selects the parallel exploration engine (0 = serial).
+func Fig8(procSizes, ks []int, maxInterleavings, workers int) ([]MixingRow, error) {
 	var rows []MixingRow
 	for _, procs := range procSizes {
 		for _, k := range ks {
@@ -227,6 +230,7 @@ func Fig8(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
 				Procs:            procs,
 				MixingBound:      k,
 				MaxInterleavings: maxInterleavings,
+				Workers:          workers,
 			}, matmul.Program(matmul.Config{}))
 			if err != nil {
 				return nil, fmt.Errorf("fig8 p=%d k=%d: %w", procs, k, err)
@@ -240,8 +244,9 @@ func Fig8(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
 	return rows, nil
 }
 
-// Fig9 counts ADLB interleavings per mixing bound per world size.
-func Fig9(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
+// Fig9 counts ADLB interleavings per mixing bound per world size. workers
+// selects the parallel exploration engine (0 = serial).
+func Fig9(procSizes, ks []int, maxInterleavings, workers int) ([]MixingRow, error) {
 	var rows []MixingRow
 	for _, procs := range procSizes {
 		for _, k := range ks {
@@ -249,6 +254,7 @@ func Fig9(procSizes, ks []int, maxInterleavings int) ([]MixingRow, error) {
 				Procs:            procs,
 				MixingBound:      k,
 				MaxInterleavings: maxInterleavings,
+				Workers:          workers,
 			}, adlb.Program(adlb.DriverConfig{}))
 			if err != nil {
 				return nil, fmt.Errorf("fig9 p=%d k=%d: %w", procs, k, err)

@@ -14,7 +14,7 @@ func TestFig5Shape(t *testing.T) {
 	minDAMPI := map[int]float64{}
 	minISP := map[int]float64{}
 	for rep := 0; rep < 3; rep++ {
-		rows, err := Fig5([]int{4, 16}, 200)
+		rows, err := Fig5([]int{4, 16}, 200, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func TestTable2SmallScale(t *testing.T) {
 // TestFig8Fig9Shape: bounded mixing must be monotone in k and grow with
 // world size.
 func TestFig8Fig9Shape(t *testing.T) {
-	rows, err := Fig8([]int{3, 4}, []int{0, 1, verify.Unbounded}, 500)
+	rows, err := Fig8([]int{3, 4}, []int{0, 1, verify.Unbounded}, 500, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFig8Fig9Shape(t *testing.T) {
 		t.Errorf("k=0 counts not growing with procs")
 	}
 
-	arows, err := Fig9([]int{4, 6}, []int{0, 1}, 500)
+	arows, err := Fig9([]int{4, 6}, []int{0, 1}, 500, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,21 @@ type ExplorerConfig struct {
 	ExtraHooks func() []*mpi.Hooks
 	// OnInterleaving, if set, observes each replay's result as it happens.
 	OnInterleaving func(res *InterleavingResult)
+	// Runner, if set, replaces ExecuteRun as the function that performs one
+	// (self or guided) instrumented run. Both the serial explorer and the
+	// parallel engine route every run through it, which gives tests a seam to
+	// memoize executions: sharing one memoizing Runner across engines makes
+	// the program's residual scheduling non-determinism invisible, so
+	// cross-checks compare pure schedule-generator behavior.
+	Runner func(cfg *ExplorerConfig, decisions *Decisions) (*RunTrace, *InterleavingResult, error)
+}
+
+// run dispatches one replay through Runner, or ExecuteRun when unset.
+func (c *ExplorerConfig) run(decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
+	if c.Runner != nil {
+		return c.Runner(c, decisions)
+	}
+	return ExecuteRun(c, decisions)
 }
 
 // Unbounded disables bounded mixing (full depth-first coverage).
@@ -221,45 +236,18 @@ func (e *Explorer) buildDecisions() *Decisions {
 // run); bounded mixing derives the new frames' explorability from it.
 func (e *Explorer) pushNew(trace *RunTrace, flipped *frame) {
 	explorable := true
-	budget := Unbounded
-	if flipped == nil {
-		if e.cfg.MixingBound != Unbounded {
-			budget = e.cfg.MixingBound
-		}
-	} else {
-		if flipped.budget == 0 {
-			explorable = false
-		} else if flipped.budget > 0 {
-			budget = flipped.budget - 1
-		}
+	budget := e.cfg.MixingBound
+	if flipped != nil {
+		budget, explorable = childBudget(flipped.budget)
 	}
-	// Automatic loop detection (§VI future work): per rank, consecutive
-	// epochs with an identical signature — same communicator, tag and
-	// operation kind — beyond the threshold are treated as iterations of a
-	// fixed communication pattern and not explored.
-	type sig struct {
-		comm, tag int
-		kind      EpochKind
-	}
-	lastSig := make(map[int]sig)
-	runLen := make(map[int]int)
+	det := newLoopDetector(e.cfg.AutoLoopThreshold)
 	for _, rec := range trace.Epochs {
 		if rec.Chosen < 0 {
 			continue // never completed; nothing to reproduce or flip
 		}
-		autoLoop := false
-		if e.cfg.AutoLoopThreshold > 0 {
-			s := sig{comm: rec.CommID, tag: rec.Tag, kind: rec.Kind}
-			if lastSig[rec.Rank] == s {
-				runLen[rec.Rank]++
-			} else {
-				lastSig[rec.Rank] = s
-				runLen[rec.Rank] = 1
-			}
-			if runLen[rec.Rank] > e.cfg.AutoLoopThreshold {
-				autoLoop = true
-				e.report.AutoAbstracted++
-			}
+		autoLoop := det.observe(rec)
+		if autoLoop {
+			e.report.AutoAbstracted++
 		}
 		id := rec.ID()
 		if _, ok := e.forced[id]; ok {
@@ -292,25 +280,40 @@ func (e *Explorer) record(res *InterleavingResult) {
 	}
 }
 
-// runOnce executes one (self or guided) instrumented run.
+// runOnce executes one (self or guided) instrumented run and stamps the
+// result with the explorer's current interleaving index.
 func (e *Explorer) runOnce(decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
+	trace, res, err := e.cfg.run(decisions)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Index = e.report.Interleavings
+	return trace, res, nil
+}
+
+// ExecuteRun performs one (self or guided) instrumented run: it builds a
+// fresh Tool and mpi.World, executes the program under the given decisions,
+// and derives the run's trace and its deterministic reproducer. This is the
+// replay primitive shared by the serial explorer, the parallel engine
+// (internal/dexplore) and Replay; the returned result's Index is left 0 for
+// the caller to assign.
+func ExecuteRun(cfg *ExplorerConfig, decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
 	tool := NewTool(ToolConfig{
-		Procs:     e.cfg.Procs,
-		Clock:     e.cfg.Clock,
-		DualClock: e.cfg.DualClock,
-		Transport: e.cfg.Transport,
+		Procs:     cfg.Procs,
+		Clock:     cfg.Clock,
+		DualClock: cfg.DualClock,
+		Transport: cfg.Transport,
 		Decisions: decisions,
 	})
 	layers := []*mpi.Hooks{tool.Hooks()}
-	if e.cfg.ExtraHooks != nil {
-		layers = append(layers, e.cfg.ExtraHooks()...)
+	if cfg.ExtraHooks != nil {
+		layers = append(layers, cfg.ExtraHooks()...)
 	}
-	world := mpi.NewWorld(mpi.Config{Procs: e.cfg.Procs, Hooks: pnmpi.Stack(layers...)})
-	runErr := world.Run(e.cfg.Program)
+	world := mpi.NewWorld(mpi.Config{Procs: cfg.Procs, Hooks: pnmpi.Stack(layers...)})
+	runErr := world.Run(cfg.Program)
 	trace := tool.Trace()
 
 	res := &InterleavingResult{
-		Index:      e.report.Interleavings,
 		Err:        runErr,
 		Mismatches: trace.Mismatches,
 		Epochs:     len(trace.Epochs),
@@ -342,5 +345,5 @@ func (e *Explorer) runOnce(decisions *Decisions) (*RunTrace, *InterleavingResult
 // decisions, without any exploration: the deterministic-reproducer entry
 // point.
 func Replay(cfg ExplorerConfig, d *Decisions) (*RunTrace, *InterleavingResult, error) {
-	return NewExplorer(cfg).runOnce(d)
+	return cfg.run(d)
 }

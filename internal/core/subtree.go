@@ -1,0 +1,149 @@
+package core
+
+// This file factors the schedule generator's frame logic — mixing-budget
+// inheritance, automatic loop detection, and the derivation of child
+// decision prefixes from a completed run's trace — into a form both the
+// serial Explorer and the parallel engine (internal/dexplore) share. A
+// SubtreeTask is the unit the parallel engine distributes: one subtree of
+// the epoch-decision DFS, identified by its forced-decision prefix.
+
+// SubtreeTask is one independently explorable unit of the epoch-decision
+// search: replay the program under Decisions, then expand every newly
+// discovered wildcard epoch's alternates into child tasks. Tasks are
+// self-contained — two tasks share no mutable state — which is what makes
+// the search embarrassingly parallel and lets a frontier of pending tasks
+// round-trip through JSON for checkpoint/resume.
+type SubtreeTask struct {
+	// Decisions is the forced prefix reproduced by this task's replay (nil
+	// for the root self-discovery run). Its keys double as the skip set
+	// during expansion: epochs already forced are part of the prefix, not
+	// new decision points.
+	Decisions *Decisions `json:"decisions"`
+	// Budget is the remaining mixing depth for frames discovered by this
+	// task's run (Unbounded = no bound), per the bounded-mixing heuristic
+	// (§III-B2).
+	Budget int `json:"budget"`
+	// Explorable reports whether frames discovered by this task's run may
+	// be flipped at all; false once the mixing budget is exhausted.
+	Explorable bool `json:"explorable"`
+}
+
+// RootTask returns the task of the initial self-discovery run.
+func RootTask(cfg *ExplorerConfig) *SubtreeTask {
+	return &SubtreeTask{Decisions: nil, Budget: cfg.MixingBound, Explorable: true}
+}
+
+// Expansion is what one completed task's trace contributes to the search:
+// the child subtree tasks plus the bookkeeping the coverage report
+// aggregates.
+type Expansion struct {
+	// Children are the subtree tasks spawned by flipping each explorable
+	// new epoch to each of its alternates, in depth-first order: flipping
+	// the deepest epoch's first alternate comes last, so a LIFO frontier
+	// pops it first, mirroring the serial explorer's order.
+	Children []*SubtreeTask
+	// DecisionPoints counts the new epoch decision points this run
+	// discovered beyond the forced prefix (explorable or not).
+	DecisionPoints int
+	// AutoAbstracted counts epochs suppressed by automatic loop detection.
+	AutoAbstracted int
+}
+
+// Expand derives the child subtree tasks of a completed, non-deadlocked run,
+// mirroring the serial explorer's pushNew/buildDecisions exactly: a child's
+// prefix is the task's own decisions, plus every new epoch observed before
+// the flipped one pinned to its observed choice, plus the flip itself.
+func (t *SubtreeTask) Expand(cfg *ExplorerConfig, trace *RunTrace) *Expansion {
+	ex := &Expansion{}
+	det := newLoopDetector(cfg.AutoLoopThreshold)
+	budget, explorable := childBudget(t.Budget)
+	var prefix []*EpochRecord // new epochs observed so far, in commit order
+	for _, rec := range trace.Epochs {
+		if rec.Chosen < 0 {
+			continue // never completed; nothing to reproduce or flip
+		}
+		autoLoop := det.observe(rec)
+		if autoLoop {
+			ex.AutoAbstracted++
+		}
+		if _, ok := t.Decisions.Lookup(rec.Rank, rec.LC); ok {
+			continue // part of the forced prefix
+		}
+		ex.DecisionPoints++
+		if t.Explorable && !rec.InLoop && !autoLoop {
+			for _, alt := range rec.Alternates {
+				d := NewDecisions()
+				if t.Decisions != nil {
+					d = t.Decisions.Clone()
+				}
+				for _, p := range prefix {
+					d.Force(p.ID(), p.Chosen)
+				}
+				d.Force(rec.ID(), alt)
+				ex.Children = append(ex.Children, &SubtreeTask{
+					Decisions:  d,
+					Budget:     budget,
+					Explorable: explorable,
+				})
+			}
+		}
+		prefix = append(prefix, rec)
+	}
+	return ex
+}
+
+// childBudget derives the mixing budget of frames discovered below a flip of
+// a frame carrying the given budget: a zero budget forbids further flips, a
+// positive one is decremented, and Unbounded (or any negative value) stays
+// unbounded.
+func childBudget(budget int) (int, bool) {
+	switch {
+	case budget == 0:
+		return Unbounded, false
+	case budget > 0:
+		return budget - 1, true
+	default:
+		return Unbounded, true
+	}
+}
+
+// loopDetector implements the paper's §VI future-work automatic loop
+// detection over one run's epoch stream: per rank, consecutive epochs with
+// an identical signature — same communicator, tag and operation kind —
+// beyond the threshold are treated as iterations of a fixed communication
+// pattern and not explored. A zero threshold disables detection.
+type loopDetector struct {
+	threshold int
+	lastSig   map[int]epochSig
+	runLen    map[int]int
+}
+
+type epochSig struct {
+	comm, tag int
+	kind      EpochKind
+}
+
+func newLoopDetector(threshold int) *loopDetector {
+	d := &loopDetector{threshold: threshold}
+	if threshold > 0 {
+		d.lastSig = make(map[int]epochSig)
+		d.runLen = make(map[int]int)
+	}
+	return d
+}
+
+// observe accounts one completed epoch and reports whether it falls beyond
+// the consecutive-signature threshold (auto-abstracted).
+func (d *loopDetector) observe(rec *EpochRecord) bool {
+	if d.threshold <= 0 {
+		return false
+	}
+	s := epochSig{comm: rec.CommID, tag: rec.Tag, kind: rec.Kind}
+	if d.lastSig[rec.Rank] == s {
+		d.runLen[rec.Rank]++
+	} else {
+		d.lastSig[rec.Rank] = s
+		d.runLen[rec.Rank] = 1
+	}
+	return d.runLen[rec.Rank] > d.threshold
+}

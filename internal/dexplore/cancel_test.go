@@ -1,0 +1,166 @@
+package dexplore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dampi/internal/core"
+	"dampi/workloads/matmul"
+)
+
+// checkGoroutinesDrained polls until the goroutine count returns to the
+// pre-exploration baseline: workers, rank goroutines of every in-flight
+// mpi.World, and the progress monitor must all have exited.
+func checkGoroutinesDrained(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStopOnFirstErrorParallel: under 4 workers the engine stops after the
+// first failing interleaving drains, reports its reproducer, and leaks no
+// goroutines. The reproducer must replay to the same error.
+func TestStopOnFirstErrorParallel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := core.ExplorerConfig{
+		Procs:            3,
+		MixingBound:      core.Unbounded,
+		Program:          fanInError,
+		StopOnFirstError: true,
+	}
+	rep, err := New(Config{Explorer: cfg, Workers: 4}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) == 0 {
+		t.Fatal("no error found")
+	}
+	checkGoroutinesDrained(t, baseline)
+
+	// In-flight replays drain and are counted, so a few extra interleavings
+	// beyond the erroring one are fine — unbounded continuation is not.
+	if rep.Interleavings > 16 {
+		t.Errorf("exploration ran on after the first error: %d interleavings", rep.Interleavings)
+	}
+	first := rep.Errors[0]
+	_, res, err := core.Replay(core.ExplorerConfig{Procs: 3, Program: fanInError}, first.Decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatalf("reproducer %s did not reproduce the error", first.Decisions)
+	}
+	if res.Err.Error() != first.Err.Error() {
+		t.Errorf("reproducer error = %q, want %q", res.Err, first.Err)
+	}
+}
+
+// TestMaxInterleavingsParallel: the cap is exact under 4 workers — the
+// ticket counter issues exactly MaxInterleavings replays, in-flight results
+// are counted, Capped is set while frontier work remains, and the pool
+// drains cleanly.
+func TestMaxInterleavingsParallel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := core.ExplorerConfig{
+		Procs:            8,
+		Program:          matmul.Program(matmul.Config{}),
+		MaxInterleavings: 10,
+	}
+	rep, err := New(Config{Explorer: cfg, Workers: 4}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoroutinesDrained(t, baseline)
+	if rep.Interleavings != 10 {
+		t.Errorf("interleavings = %d, want exactly 10", rep.Interleavings)
+	}
+	if !rep.Capped {
+		t.Error("Capped not set despite pending frontier at the cap")
+	}
+}
+
+// TestStopFromCallback: Stop is safe from inside the OnInterleaving
+// callback and ends the exploration with a partial report.
+func TestStopFromCallback(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var eng *Engine
+	var n atomic.Int32
+	cfg := core.ExplorerConfig{
+		Procs:   8,
+		Program: matmul.Program(matmul.Config{}),
+		OnInterleaving: func(res *core.InterleavingResult) {
+			if n.Add(1) == 3 {
+				eng.Stop()
+			}
+		},
+	}
+	eng = New(Config{Explorer: cfg, Workers: 4})
+	rep, err := eng.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoroutinesDrained(t, baseline)
+	if rep.Interleavings < 3 {
+		t.Errorf("stopped before the third interleaving: %d", rep.Interleavings)
+	}
+	// 3 callbacks + up to 4 in-flight replays that drain after the stop.
+	if rep.Interleavings > 3+4 {
+		t.Errorf("exploration ran on after Stop: %d interleavings", rep.Interleavings)
+	}
+}
+
+// TestProgressCallback: the monitor reports live throughput while workers
+// run, and stops with them.
+func TestProgressCallback(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var mu sync.Mutex
+	var progress []Progress
+	cfg := core.ExplorerConfig{Procs: 8, Program: matmul.Program(matmul.Config{})}
+	rep, err := New(Config{
+		Explorer:      cfg,
+		Workers:       2,
+		ProgressEvery: time.Millisecond,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			progress = append(progress, p)
+			mu.Unlock()
+		},
+	}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoroutinesDrained(t, baseline)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progress) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	last := progress[len(progress)-1]
+	if last.Elapsed <= 0 {
+		t.Error("progress snapshot without elapsed time")
+	}
+	if last.Interleavings < 1 || last.Interleavings > rep.Interleavings {
+		t.Errorf("progress interleavings = %d, final report %d", last.Interleavings, rep.Interleavings)
+	}
+	if last.PerSecond <= 0 {
+		t.Error("progress snapshot without a throughput rate")
+	}
+	if last.Busy < 0 || last.Busy > 2 {
+		t.Errorf("busy workers = %d with a pool of 2", last.Busy)
+	}
+}

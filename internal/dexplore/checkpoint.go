@@ -1,0 +1,178 @@
+package dexplore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dampi/internal/core"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// Checkpoint is a consistent snapshot of an exploration: the aggregates of
+// every completed replay plus the frontier of subtree tasks still to run
+// (including tasks that were in flight at snapshot time — resuming re-runs
+// them, giving at-least-once coverage of every subtree). Decision prefixes
+// round-trip through the same JSON format as core.Decisions files, so a
+// frontier entry is itself a valid guided-replay artifact.
+type Checkpoint struct {
+	Version int `json:"version"`
+
+	// Exploration parameters, validated on resume.
+	Procs             int            `json:"procs"`
+	Clock             core.ClockMode `json:"clock"`
+	DualClock         bool           `json:"dual_clock,omitempty"`
+	Transport         core.Transport `json:"transport"`
+	MixingBound       int            `json:"mixing_bound"`
+	AutoLoopThreshold int            `json:"auto_loop_threshold,omitempty"`
+
+	// Aggregates of completed replays.
+	Interleavings     int                 `json:"interleavings"`
+	Deadlocks         int                 `json:"deadlocks,omitempty"`
+	DecisionPoints    int                 `json:"decision_points"`
+	AutoAbstracted    int                 `json:"auto_abstracted,omitempty"`
+	WildcardsAnalyzed int                 `json:"wildcards_analyzed"`
+	Unsafe            []core.UnsafeReport `json:"unsafe,omitempty"`
+	Errors            []*CheckpointError  `json:"errors,omitempty"`
+
+	// FirstTrace is the initial self run's epoch log, carried so a resumed
+	// run still reports the canonical trace.
+	FirstTrace *core.RunTrace `json:"first_trace,omitempty"`
+
+	// Frontier holds the pending subtree tasks, deepest last (the engine
+	// pops from the end).
+	Frontier []*core.SubtreeTask `json:"frontier"`
+}
+
+// CheckpointError is a failed interleaving's durable form: the reproducer
+// plus the error text (the live error value does not survive JSON).
+type CheckpointError struct {
+	Message   string          `json:"message"`
+	Deadlock  bool            `json:"deadlock,omitempty"`
+	Decisions *core.Decisions `json:"decisions"`
+}
+
+// checkpointLocked snapshots the engine state. Caller holds e.mu.
+func (e *Engine) checkpointLocked() *Checkpoint {
+	cfg := &e.cfg.Explorer
+	ckp := &Checkpoint{
+		Version:           checkpointVersion,
+		Procs:             cfg.Procs,
+		Clock:             cfg.Clock,
+		DualClock:         cfg.DualClock,
+		Transport:         cfg.Transport,
+		MixingBound:       cfg.MixingBound,
+		AutoLoopThreshold: cfg.AutoLoopThreshold,
+		Interleavings:     e.report.Interleavings,
+		Deadlocks:         e.report.Deadlocks,
+		DecisionPoints:    e.report.DecisionPoints,
+		AutoAbstracted:    e.report.AutoAbstracted,
+		WildcardsAnalyzed: e.report.WildcardsAnalyzed,
+		Unsafe:            e.report.Unsafe,
+		FirstTrace:        e.report.FirstTrace,
+	}
+	for _, res := range e.report.Errors {
+		ckp.Errors = append(ckp.Errors, &CheckpointError{
+			Message:   res.Err.Error(),
+			Deadlock:  res.Deadlock,
+			Decisions: res.Decisions,
+		})
+	}
+	// Pending first, then in-flight: on resume the engine pops in-flight
+	// subtrees (the deepest work at snapshot time) first.
+	ckp.Frontier = append(ckp.Frontier, e.frontier...)
+	for t := range e.inflight {
+		ckp.Frontier = append(ckp.Frontier, t)
+	}
+	return ckp
+}
+
+// seedFromCheckpoint restores aggregates and frontier from a checkpoint in
+// place of the initial self-discovery run.
+func (e *Engine) seedFromCheckpoint(ckp *Checkpoint) error {
+	cfg := &e.cfg.Explorer
+	if ckp.Version != checkpointVersion {
+		return fmt.Errorf("dexplore: checkpoint version %d, want %d", ckp.Version, checkpointVersion)
+	}
+	switch {
+	case ckp.Procs != cfg.Procs:
+		return fmt.Errorf("dexplore: checkpoint procs=%d, config procs=%d", ckp.Procs, cfg.Procs)
+	case ckp.Clock != cfg.Clock:
+		return fmt.Errorf("dexplore: checkpoint clock=%v, config clock=%v", ckp.Clock, cfg.Clock)
+	case ckp.DualClock != cfg.DualClock:
+		return fmt.Errorf("dexplore: checkpoint dual-clock=%v, config dual-clock=%v", ckp.DualClock, cfg.DualClock)
+	case ckp.Transport != cfg.Transport:
+		return fmt.Errorf("dexplore: checkpoint transport=%v, config transport=%v", ckp.Transport, cfg.Transport)
+	case ckp.MixingBound != cfg.MixingBound:
+		return fmt.Errorf("dexplore: checkpoint k=%d, config k=%d", ckp.MixingBound, cfg.MixingBound)
+	case ckp.AutoLoopThreshold != cfg.AutoLoopThreshold:
+		return fmt.Errorf("dexplore: checkpoint autoloop=%d, config autoloop=%d", ckp.AutoLoopThreshold, cfg.AutoLoopThreshold)
+	}
+	e.report.Interleavings = ckp.Interleavings
+	e.report.Deadlocks = ckp.Deadlocks
+	e.report.DecisionPoints = ckp.DecisionPoints
+	e.report.AutoAbstracted = ckp.AutoAbstracted
+	e.report.WildcardsAnalyzed = ckp.WildcardsAnalyzed
+	e.report.Unsafe = ckp.Unsafe
+	e.report.FirstTrace = ckp.FirstTrace
+	for _, ce := range ckp.Errors {
+		e.report.Errors = append(e.report.Errors, &core.InterleavingResult{
+			Err:       errors.New(ce.Message),
+			Deadlock:  ce.Deadlock,
+			Decisions: ce.Decisions,
+		})
+	}
+	e.issued = ckp.Interleavings
+	e.frontier = append(e.frontier, ckp.Frontier...)
+	return nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename), so a crash
+// mid-write never corrupts the previous checkpoint.
+func (c *Checkpoint) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Write serializes the checkpoint as JSON.
+func (c *Checkpoint) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadCheckpoint reads a checkpoint file saved with Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// ReadCheckpoint deserializes a checkpoint from JSON.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	ckp := &Checkpoint{}
+	if err := json.NewDecoder(r).Decode(ckp); err != nil {
+		return nil, err
+	}
+	return ckp, nil
+}

@@ -1,0 +1,275 @@
+package dexplore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dampi/internal/core"
+	"dampi/workloads/matmul"
+)
+
+// TestCheckpointJSONRoundTrip: a checkpoint survives Save/Load byte-exactly
+// in every field the engine reads back, and frontier decision prefixes
+// round-trip through the core.Decisions JSON format.
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	d := core.NewDecisions()
+	d.Force(core.EpochID{Rank: 1, LC: 7}, 3)
+	d.Force(core.EpochID{Rank: 0, LC: 2}, 1)
+	ckp := &Checkpoint{
+		Version:           checkpointVersion,
+		Procs:             6,
+		Clock:             core.VectorClock,
+		DualClock:         true,
+		Transport:         core.Inband,
+		MixingBound:       2,
+		AutoLoopThreshold: 5,
+		Interleavings:     11,
+		Deadlocks:         1,
+		DecisionPoints:    9,
+		AutoAbstracted:    4,
+		WildcardsAnalyzed: 3,
+		Errors:            []*CheckpointError{{Message: "boom", Deadlock: true, Decisions: d.Clone()}},
+		Frontier: []*core.SubtreeTask{
+			{Decisions: d, Budget: 1, Explorable: true},
+			{Decisions: nil, Budget: core.Unbounded, Explorable: false},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "ckp.json")
+	if err := ckp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ckp.Version || got.Procs != ckp.Procs || got.Clock != ckp.Clock ||
+		got.DualClock != ckp.DualClock || got.Transport != ckp.Transport ||
+		got.MixingBound != ckp.MixingBound || got.AutoLoopThreshold != ckp.AutoLoopThreshold {
+		t.Errorf("fingerprint mismatch: got %+v", got)
+	}
+	if got.Interleavings != 11 || got.Deadlocks != 1 || got.DecisionPoints != 9 ||
+		got.AutoAbstracted != 4 || got.WildcardsAnalyzed != 3 {
+		t.Errorf("aggregates mismatch: got %+v", got)
+	}
+	if len(got.Errors) != 1 || got.Errors[0].Message != "boom" || !got.Errors[0].Deadlock ||
+		got.Errors[0].Decisions.String() != d.String() {
+		t.Errorf("errors mismatch: got %+v", got.Errors)
+	}
+	if len(got.Frontier) != 2 {
+		t.Fatalf("frontier length = %d, want 2", len(got.Frontier))
+	}
+	if got.Frontier[0].Decisions.String() != d.String() || got.Frontier[0].Budget != 1 || !got.Frontier[0].Explorable {
+		t.Errorf("frontier[0] mismatch: %+v", got.Frontier[0])
+	}
+	if !got.Frontier[1].Decisions.Empty() || got.Frontier[1].Budget != core.Unbounded || got.Frontier[1].Explorable {
+		t.Errorf("frontier[1] mismatch: %+v", got.Frontier[1])
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: a checkpoint only resumes under the
+// exploration parameters that produced it.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	memo := newMemoRunner()
+	base := core.ExplorerConfig{Procs: 4, Program: matmul.Program(matmul.Config{}), Runner: memo.Run}
+	path := filepath.Join(t.TempDir(), "ckp.json")
+	if _, err := New(Config{Explorer: base, Workers: 2, CheckpointPath: path}).Explore(); err != nil {
+		t.Fatal(err)
+	}
+	ckp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.Procs = 5
+	if _, err := New(Config{Explorer: bad, Workers: 2, Resume: ckp}).Explore(); err == nil {
+		t.Error("resume with mismatched procs accepted")
+	}
+	bad = base
+	bad.MixingBound = 3
+	if _, err := New(Config{Explorer: bad, Workers: 2, Resume: ckp}).Explore(); err == nil {
+		t.Error("resume with mismatched mixing bound accepted")
+	}
+	ckp.Version = checkpointVersion + 1
+	if _, err := New(Config{Explorer: base, Workers: 2, Resume: ckp}).Explore(); err == nil {
+		t.Error("resume with future checkpoint version accepted")
+	}
+}
+
+// TestCheckpointResumeUnion is the satellite's contract: an exploration
+// killed at the interleaving cap leaves a checkpoint whose resumption covers
+// exactly the remaining interleavings — the union of the two partial runs
+// equals the uninterrupted run's interleaving set (decision-signature
+// equality on matmul).
+func TestCheckpointResumeUnion(t *testing.T) {
+	memo := newMemoRunner()
+	cfg := core.ExplorerConfig{Procs: 6, Program: matmul.Program(matmul.Config{}), Runner: memo.Run}
+
+	full := runParallel(t, cfg, 4)
+	if full.rep.Interleavings <= 15 {
+		t.Fatalf("fixture too small: %d interleavings", full.rep.Interleavings)
+	}
+
+	// Phase 1: explore up to the cap, checkpointing the frontier.
+	path := filepath.Join(t.TempDir(), "ckp.json")
+	killed := map[string]bool{}
+	kcfg := cfg
+	kcfg.MaxInterleavings = 15
+	kcfg.OnInterleaving = func(res *core.InterleavingResult) { killed[res.Decisions.String()] = true }
+	krep, err := New(Config{Explorer: kcfg, Workers: 4, CheckpointPath: path, CheckpointEvery: 3}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if krep.Interleavings != 15 {
+		t.Fatalf("capped run explored %d interleavings, want 15", krep.Interleavings)
+	}
+	if !krep.Capped {
+		t.Error("capped run did not set Capped")
+	}
+
+	ckp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckp.Frontier) == 0 {
+		t.Fatal("final checkpoint has an empty frontier despite the cap")
+	}
+	if ckp.Interleavings != 15 {
+		t.Fatalf("checkpoint records %d interleavings, want 15", ckp.Interleavings)
+	}
+
+	// Phase 2: resume from the checkpoint and drain the frontier.
+	resumed := map[string]bool{}
+	rcfg := cfg
+	rcfg.OnInterleaving = func(res *core.InterleavingResult) { resumed[res.Decisions.String()] = true }
+	rrep, err := New(Config{Explorer: rcfg, Workers: 4, Resume: ckp}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Capped {
+		t.Error("resumed run reports Capped with no cap configured")
+	}
+	if rrep.WildcardsAnalyzed != full.rep.WildcardsAnalyzed {
+		t.Errorf("resumed R* = %d, want %d (carried through the checkpoint)",
+			rrep.WildcardsAnalyzed, full.rep.WildcardsAnalyzed)
+	}
+	if rrep.FirstTrace == nil {
+		t.Error("resumed run lost the canonical first trace")
+	}
+
+	// The final checkpoint of a drained engine has no in-flight tasks, so
+	// resumption covers exactly the remainder: totals line up and the union
+	// equals the uninterrupted set.
+	if got, want := rrep.Interleavings, full.rep.Interleavings; got != want {
+		t.Errorf("resumed total = %d interleavings, want %d", got, want)
+	}
+	union := map[string]bool{}
+	for s := range killed {
+		union[s] = true
+	}
+	for s := range resumed {
+		union[s] = true
+	}
+	if len(union) != len(full.sigs) {
+		t.Errorf("union covers %d interleavings, full run %d", len(union), len(full.sigs))
+	}
+	for s := range full.sigs {
+		if !union[s] {
+			t.Errorf("interleaving %s missing from killed+resumed union", s)
+		}
+	}
+	for s := range union {
+		if !full.sigs[s] {
+			t.Errorf("interleaving %s not in the uninterrupted run", s)
+		}
+	}
+}
+
+// TestResumeAtLeastOnce: a checkpoint taken while tasks were in flight lists
+// those tasks again (at-least-once coverage); resuming such a snapshot may
+// re-run subtrees but still covers the full set.
+func TestResumeAtLeastOnce(t *testing.T) {
+	memo := newMemoRunner()
+	cfg := core.ExplorerConfig{Procs: 6, Program: matmul.Program(matmul.Config{}), Runner: memo.Run}
+	full := runParallel(t, cfg, 2)
+
+	path := filepath.Join(t.TempDir(), "ckp.json")
+	killed := map[string]bool{}
+	kcfg := cfg
+	kcfg.MaxInterleavings = 15
+	kcfg.OnInterleaving = func(res *core.InterleavingResult) { killed[res.Decisions.String()] = true }
+	if _, err := New(Config{Explorer: kcfg, Workers: 4, CheckpointPath: path}).Explore(); err != nil {
+		t.Fatal(err)
+	}
+	ckp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckp.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Simulate an in-flight task at snapshot time: its subtree was merged
+	// before the engine was killed, yet the snapshot still lists it.
+	ckp.Frontier = append(ckp.Frontier, ckp.Frontier[0])
+
+	resumed := map[string]bool{}
+	rcfg := cfg
+	rcfg.OnInterleaving = func(res *core.InterleavingResult) { resumed[res.Decisions.String()] = true }
+	rrep, err := New(Config{Explorer: rcfg, Workers: 4, Resume: ckp}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Interleavings < full.rep.Interleavings {
+		t.Errorf("at-least-once resume explored %d < full %d", rrep.Interleavings, full.rep.Interleavings)
+	}
+	union := map[string]bool{}
+	for s := range killed {
+		union[s] = true
+	}
+	for s := range resumed {
+		union[s] = true
+	}
+	for s := range full.sigs {
+		if !union[s] {
+			t.Errorf("interleaving %s missing from at-least-once union", s)
+		}
+	}
+	for s := range union {
+		if !full.sigs[s] {
+			t.Errorf("interleaving %s not in the uninterrupted run", s)
+		}
+	}
+}
+
+// TestPeriodicCheckpointWrites: with CheckpointEvery=1 a checkpoint exists on
+// disk well before the exploration finishes (verified post-hoc: the final
+// file must parse and carry the fingerprint).
+func TestPeriodicCheckpointWrites(t *testing.T) {
+	memo := newMemoRunner()
+	path := filepath.Join(t.TempDir(), "ckp.json")
+	cfg := core.ExplorerConfig{Procs: 6, Program: matmul.Program(matmul.Config{}), Runner: memo.Run}
+	rep, err := New(Config{Explorer: cfg, Workers: 2, CheckpointPath: path, CheckpointEvery: 1}).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckp.Interleavings != rep.Interleavings {
+		t.Errorf("final checkpoint records %d interleavings, report %d", ckp.Interleavings, rep.Interleavings)
+	}
+	if len(ckp.Frontier) != 0 {
+		t.Errorf("completed exploration left %d frontier tasks", len(ckp.Frontier))
+	}
+	// No stray temp files from the atomic-rename protocol.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("stray checkpoint temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package dexplore is the parallel schedule generator: it partitions the
+// epoch-decision depth-first search of internal/core into independent
+// subtree tasks — a forced-decision prefix plus the frame's remaining mixing
+// budget — and feeds them to a worker pool where each worker runs guided
+// replays in its own mpi.World. Per-worker results merge into a single
+// core.Report covering exactly the interleaving set the serial explorer
+// would cover (the expansion logic is shared, see core.SubtreeTask.Expand),
+// with deterministic counts and error reproducers regardless of worker
+// scheduling.
+//
+// The frontier of pending tasks is periodically checkpointed to a JSON file
+// (reusing the core.Decisions round-trip format), so a killed exploration
+// resumes without redoing completed subtrees; see Checkpoint. A progress
+// callback reports live throughput: interleavings/sec, frontier depth and
+// busy workers.
+//
+// Cancellation is cooperative: MaxInterleavings stops issuing new replays
+// once the cap is reached, StopOnFirstError (and Stop) stop after the
+// current replays drain, and in-flight results are always counted.
+package dexplore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dampi/internal/core"
+)
+
+// Config configures a parallel exploration.
+type Config struct {
+	// Explorer carries the exploration parameters (program, procs, clocks,
+	// bounds); see core.ExplorerConfig.
+	Explorer core.ExplorerConfig
+	// Workers is the worker-pool size; values below 1 run a pool of one.
+	Workers int
+	// CheckpointPath, if non-empty, receives a frontier checkpoint every
+	// CheckpointEvery completed replays and once more when exploration ends
+	// (complete, capped, or stopped).
+	CheckpointPath string
+	// CheckpointEvery is the number of completed replays between periodic
+	// checkpoint writes. Default 32.
+	CheckpointEvery int
+	// Resume, if non-nil, seeds the exploration from a saved checkpoint
+	// instead of performing the initial self-discovery run. The checkpoint's
+	// recorded parameters must match Explorer's.
+	Resume *Checkpoint
+	// OnProgress, if non-nil, receives a throughput snapshot every
+	// ProgressEvery during exploration.
+	OnProgress func(Progress)
+	// ProgressEvery is the progress-callback period. Default 1s.
+	ProgressEvery time.Duration
+}
+
+// Progress is a live exploration throughput snapshot.
+type Progress struct {
+	// Interleavings is the number of replays completed so far.
+	Interleavings int
+	// PerSecond is the mean completion rate since the exploration started.
+	PerSecond float64
+	// FrontierDepth is the number of pending (unstarted) subtree tasks.
+	FrontierDepth int
+	// Busy is the number of workers currently executing a replay.
+	Busy int
+	// Elapsed is the wall time since the exploration started.
+	Elapsed time.Duration
+}
+
+// Engine is the parallel schedule generator. Create with New, run with
+// Explore; Stop cancels cooperatively from any goroutine (including an
+// OnInterleaving callback).
+type Engine struct {
+	cfg     Config
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	frontier []*core.SubtreeTask        // LIFO stack of pending tasks
+	inflight map[*core.SubtreeTask]bool // started, not yet merged
+	report   *core.Report
+	issued   int   // replays started (the MaxInterleavings ticket counter)
+	stopped  bool  // Stop() or StopOnFirstError fired
+	runErr   error // first fatal replay-harness error
+	sinceCkp int   // completions since the last checkpoint write
+	start    time.Time
+
+	cbMu sync.Mutex // serializes the OnInterleaving callback
+}
+
+// New creates an engine. Like core.NewExplorer it panics on a config without
+// a program or with a non-positive world size.
+func New(cfg Config) *Engine {
+	if cfg.Explorer.Procs < 1 {
+		panic("dexplore: Config.Explorer.Procs must be >= 1")
+	}
+	if cfg.Explorer.Program == nil {
+		panic("dexplore: Config.Explorer.Program must be set")
+	}
+	e := &Engine{
+		cfg:      cfg,
+		workers:  cfg.Workers,
+		inflight: make(map[*core.SubtreeTask]bool),
+		report:   &core.Report{},
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.cfg.CheckpointEvery <= 0 {
+		e.cfg.CheckpointEvery = 32
+	}
+	if e.cfg.ProgressEvery <= 0 {
+		e.cfg.ProgressEvery = time.Second
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Stop requests cooperative cancellation: no new replays are issued,
+// in-flight replays drain and are counted, and Explore returns the partial
+// report (with a final checkpoint if CheckpointPath is set). Safe to call
+// from any goroutine, any number of times.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Explore runs the exploration to completion (or cap, stop, resume
+// exhaustion) and returns the merged coverage report.
+func (e *Engine) Explore() (*core.Report, error) {
+	e.start = time.Now()
+	if e.cfg.Resume != nil {
+		if err := e.seedFromCheckpoint(e.cfg.Resume); err != nil {
+			return nil, err
+		}
+	} else if done, err := e.runRoot(); err != nil {
+		return nil, err
+	} else if done {
+		if err := e.finish(); err != nil {
+			return nil, err
+		}
+		return e.report, nil
+	}
+
+	// Progress monitor. Stopped via doneCh before Explore returns.
+	doneCh := make(chan struct{})
+	var monitorWG sync.WaitGroup
+	if e.cfg.OnProgress != nil {
+		monitorWG.Add(1)
+		go func() {
+			defer monitorWG.Done()
+			ticker := time.NewTicker(e.cfg.ProgressEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-doneCh:
+					return
+				case <-ticker.C:
+					e.cfg.OnProgress(e.snapshot())
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.work()
+		}()
+	}
+	wg.Wait()
+	close(doneCh)
+	monitorWG.Wait()
+
+	e.mu.Lock()
+	err := e.runErr
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.finish(); err != nil {
+		return nil, err
+	}
+	return e.report, nil
+}
+
+// runRoot performs the initial self-discovery run and seeds the frontier.
+// It returns done=true when exploration must end immediately (deadlocked
+// initial run with StopOnFirstError, or a single-run cap with no work).
+func (e *Engine) runRoot() (bool, error) {
+	root := core.RootTask(&e.cfg.Explorer)
+	tr, r, err := e.runTask(root)
+	if err != nil {
+		return false, err
+	}
+	e.report.WildcardsAnalyzed = len(tr.Epochs)
+	e.report.Unsafe = tr.Unsafe
+	e.report.FirstTrace = tr
+	e.issued = 1
+	e.record(r)
+	if !r.Deadlock {
+		ex := root.Expand(&e.cfg.Explorer, tr)
+		e.merge(ex)
+	}
+	if cb := e.cfg.Explorer.OnInterleaving; cb != nil {
+		cb(r)
+	}
+	if e.cfg.Explorer.StopOnFirstError && r.Err != nil {
+		return true, nil
+	}
+	return false, nil
+}
+
+// runTask executes one replay through the configured runner (the test seam)
+// or the real core.ExecuteRun.
+func (e *Engine) runTask(t *core.SubtreeTask) (*core.RunTrace, *core.InterleavingResult, error) {
+	if r := e.cfg.Explorer.Runner; r != nil {
+		return r(&e.cfg.Explorer, t.Decisions)
+	}
+	return core.ExecuteRun(&e.cfg.Explorer, t.Decisions)
+}
+
+// work is one worker's loop: pop, replay, merge, until no work remains or
+// cancellation fires.
+func (e *Engine) work() {
+	for {
+		t := e.next()
+		if t == nil {
+			return
+		}
+		trace, res, err := e.runTask(t)
+		e.complete(t, trace, res, err)
+	}
+}
+
+// next pops the deepest pending task, blocking while the frontier is empty
+// but replays are still in flight (their expansions may refill it). It
+// returns nil when the exploration is over for this worker: cancellation,
+// the interleaving cap, or global completion.
+func (e *Engine) next() *core.SubtreeTask {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stopped || e.runErr != nil {
+			return nil
+		}
+		if max := e.cfg.Explorer.MaxInterleavings; max > 0 && e.issued >= max {
+			return nil
+		}
+		if n := len(e.frontier); n > 0 {
+			t := e.frontier[n-1]
+			e.frontier = e.frontier[:n-1]
+			e.inflight[t] = true
+			e.issued++
+			return t
+		}
+		if len(e.inflight) == 0 {
+			return nil
+		}
+		e.cond.Wait()
+	}
+}
+
+// complete merges one finished replay: accounts the result, expands the
+// subtree into child tasks, triggers cancellation and checkpoints, and wakes
+// waiting workers.
+func (e *Engine) complete(t *core.SubtreeTask, trace *core.RunTrace, res *core.InterleavingResult, err error) {
+	var ex *core.Expansion
+	if err == nil && !res.Deadlock {
+		// Expansion builds decision clones; keep it outside the lock.
+		ex = t.Expand(&e.cfg.Explorer, trace)
+	}
+
+	e.mu.Lock()
+	delete(e.inflight, t)
+	if err != nil {
+		if e.runErr == nil {
+			e.runErr = err
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return
+	}
+	e.record(res)
+	if ex != nil {
+		e.merge(ex)
+	}
+	if e.cfg.Explorer.StopOnFirstError && res.Err != nil {
+		e.stopped = true
+	}
+	e.sinceCkp++
+	writeCkp := e.cfg.CheckpointPath != "" && e.sinceCkp >= e.cfg.CheckpointEvery
+	var ckp *Checkpoint
+	if writeCkp {
+		e.sinceCkp = 0
+		ckp = e.checkpointLocked()
+	}
+	cb := e.cfg.Explorer.OnInterleaving
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	if ckp != nil {
+		// Best-effort: a failed periodic write must not kill the search.
+		_ = ckp.Save(e.cfg.CheckpointPath)
+	}
+	if cb != nil {
+		// Serialized, but outside e.mu so the callback may call Stop.
+		e.cbMu.Lock()
+		cb(res)
+		e.cbMu.Unlock()
+	}
+}
+
+// record accounts one interleaving's outcome. Caller holds e.mu (or is the
+// single-threaded root run).
+func (e *Engine) record(res *core.InterleavingResult) {
+	res.Index = e.report.Interleavings
+	e.report.Interleavings++
+	if res.Err != nil {
+		e.report.Errors = append(e.report.Errors, res)
+	}
+	if res.Deadlock {
+		e.report.Deadlocks++
+	}
+}
+
+// merge folds one expansion into the frontier and report. Children arrive in
+// depth-first order and are pushed so the deepest epoch's first alternate is
+// popped next, mirroring the serial DFS. Caller holds e.mu (or is the
+// single-threaded root run).
+func (e *Engine) merge(ex *core.Expansion) {
+	e.report.DecisionPoints += ex.DecisionPoints
+	e.report.AutoAbstracted += ex.AutoAbstracted
+	e.frontier = append(e.frontier, ex.Children...)
+}
+
+// finish computes the terminal report state — the cap flag and a
+// deterministic error order (completion order is scheduling-dependent, so
+// errors sort by their reproducer signature) — and writes the final
+// checkpoint.
+func (e *Engine) finish() error {
+	e.mu.Lock()
+	max := e.cfg.Explorer.MaxInterleavings
+	if max > 0 && e.report.Interleavings >= max && len(e.frontier) > 0 {
+		e.report.Capped = true
+	}
+	sort.SliceStable(e.report.Errors, func(i, j int) bool {
+		return e.report.Errors[i].Decisions.String() < e.report.Errors[j].Decisions.String()
+	})
+	var ckp *Checkpoint
+	if e.cfg.CheckpointPath != "" {
+		ckp = e.checkpointLocked()
+	}
+	e.mu.Unlock()
+	if ckp != nil {
+		if err := ckp.Save(e.cfg.CheckpointPath); err != nil {
+			return fmt.Errorf("dexplore: writing final checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// snapshot builds a Progress under the lock.
+func (e *Engine) snapshot() Progress {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	elapsed := time.Since(e.start)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(e.report.Interleavings) / s
+	}
+	return Progress{
+		Interleavings: e.report.Interleavings,
+		PerSecond:     rate,
+		FrontierDepth: len(e.frontier),
+		Busy:          len(e.inflight),
+		Elapsed:       elapsed,
+	}
+}

@@ -19,8 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"dampi/internal/core"
+	"dampi/internal/dexplore"
 	"dampi/internal/leak"
 	"dampi/internal/trace"
 	"dampi/mpi"
@@ -109,14 +112,42 @@ type Config struct {
 	CheckLeaks bool
 	// CollectStats enables MPI operation statistics (Table I categories).
 	CollectStats bool
-	// OnInterleaving, if non-nil, observes every explored interleaving.
+	// OnInterleaving, if non-nil, observes every explored interleaving. With
+	// Workers > 0 the callback is serialized but results arrive in
+	// completion order, which depends on worker scheduling.
 	OnInterleaving func(res *InterleavingResult)
 	// ArtifactsDir, if non-empty, receives the run's file artifacts in the
 	// paper's workflow shape: potential_matches.json (the first run's epoch
 	// log) and error_<n>.decisions.json (one Epoch Decisions reproducer per
 	// failing interleaving, replayable with Replay or `dampi -replay`).
 	ArtifactsDir string
+	// Workers selects the parallel exploration engine: the number of
+	// concurrent replay workers, each running guided replays in its own
+	// isolated MPI world. 0 runs the serial legacy explorer. The parallel
+	// engine covers exactly the same interleaving set and reports the same
+	// errors and counts; only result arrival order differs.
+	Workers int
+	// CheckpointFile, if non-empty (parallel engine only), persists the
+	// exploration frontier every CheckpointEvery replays and at the end, so
+	// a killed verification can continue with Resume.
+	CheckpointFile string
+	// CheckpointEvery is the number of completed replays between frontier
+	// checkpoint writes (default 32).
+	CheckpointEvery int
+	// Resume loads CheckpointFile and continues a previous exploration
+	// instead of starting from the initial self-discovery run. Leak checks
+	// and statistics are skipped on resume: their canonical first run
+	// already happened in the original exploration.
+	Resume bool
+	// OnProgress, if non-nil (parallel engine only), receives a live
+	// throughput snapshot every ProgressEvery (default 1s).
+	OnProgress func(p Progress)
+	// ProgressEvery is the OnProgress period.
+	ProgressEvery time.Duration
 }
+
+// Progress is a live exploration throughput snapshot (parallel engine).
+type Progress = dexplore.Progress
 
 // Result is the outcome of a verification.
 type Result struct {
@@ -157,14 +188,26 @@ func Run(cfg Config, program func(p *mpi.Proc) error) (*Result, error) {
 	if program == nil {
 		return nil, fmt.Errorf("verify: nil program")
 	}
+	if cfg.Resume && cfg.CheckpointFile == "" {
+		return nil, fmt.Errorf("verify: Resume requires CheckpointFile")
+	}
+	if cfg.Resume && cfg.Workers < 1 {
+		return nil, fmt.Errorf("verify: Resume requires the parallel engine (Workers >= 1)")
+	}
 	res := &Result{}
-	firstRun := true
+	// Leak and statistics collection instrument the canonical (first) run
+	// only, matching the paper's single-run overhead and local-check
+	// methodology. On resume that run already happened in the original
+	// exploration, so the hooks stay off. The mutex makes the first-run claim
+	// safe under the parallel engine (whose root run happens before any
+	// worker starts, but the guard costs nothing).
+	var firstMu sync.Mutex
+	firstRun := !cfg.Resume
 	extra := func() []*mpi.Hooks {
+		firstMu.Lock()
+		defer firstMu.Unlock()
 		var hs []*mpi.Hooks
 		if firstRun {
-			// Leak and statistics collection instrument the canonical
-			// (first) run only, matching the paper's single-run overhead
-			// and local-check methodology.
 			if cfg.CheckLeaks {
 				tr := leak.NewTracker()
 				hs = append(hs, tr.Hooks())
@@ -178,7 +221,7 @@ func Run(cfg Config, program func(p *mpi.Proc) error) (*Result, error) {
 		}
 		return hs
 	}
-	ex := core.NewExplorer(core.ExplorerConfig{
+	ecfg := core.ExplorerConfig{
 		Procs:             cfg.Procs,
 		Program:           program,
 		Clock:             cfg.Clock,
@@ -190,8 +233,29 @@ func Run(cfg Config, program func(p *mpi.Proc) error) (*Result, error) {
 		StopOnFirstError:  cfg.StopOnFirstError,
 		ExtraHooks:        extra,
 		OnInterleaving:    cfg.OnInterleaving,
-	})
-	rep, err := ex.Explore()
+	}
+	var rep *core.Report
+	var err error
+	if cfg.Workers > 0 {
+		dcfg := dexplore.Config{
+			Explorer:        ecfg,
+			Workers:         cfg.Workers,
+			CheckpointPath:  cfg.CheckpointFile,
+			CheckpointEvery: cfg.CheckpointEvery,
+			OnProgress:      cfg.OnProgress,
+			ProgressEvery:   cfg.ProgressEvery,
+		}
+		if cfg.Resume {
+			ckp, lerr := dexplore.LoadCheckpoint(cfg.CheckpointFile)
+			if lerr != nil {
+				return nil, fmt.Errorf("verify: loading checkpoint: %w", lerr)
+			}
+			dcfg.Resume = ckp
+		}
+		rep, err = dexplore.New(dcfg).Explore()
+	} else {
+		rep, err = core.NewExplorer(ecfg).Explore()
+	}
 	if err != nil {
 		return nil, err
 	}
