@@ -9,10 +9,20 @@
 //	dampi -workload adlb -procs 12 -k 0 -max 5000
 //	dampi -workload 104.milc -procs 64 -leaks
 //	dampi -workload matmul -procs 4 -baseline isp
+//	dampi -lint ./workloads/... -workload adlb -procs 8
 //
 // Erroneous interleavings are printed with their epoch-decisions reproducer;
 // pass -decisions FILE to save the first reproducer as a JSON decisions
 // file (replayable by any DAMPI run of the same program).
+//
+// The -lint PATH flag runs the mpilint static analyzer (see cmd/mpilint)
+// over the given Go sources before exploration: error-severity findings
+// (R-leaks, C-leaks, discarded errors, buffer reuse, rank-conditional
+// collectives) are printed up front, and the wildcard-receive audit is
+// printed alongside the coverage report so the statically-found
+// non-determinism sites can be compared with what exploration exercised.
+// With -lint but no -workload, dampi lints and exits (status 1 if any
+// non-suppressed finding).
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"time"
 
 	"dampi/internal/isp"
+	"dampi/internal/mpilint"
 	"dampi/verify"
 	"dampi/workloads"
 )
@@ -50,6 +61,7 @@ func main() {
 		ckpFile    = flag.String("checkpoint", "", "frontier checkpoint FILE (parallel engine)")
 		ckpEvery   = flag.Int("checkpoint-every", 0, "replays between checkpoint writes (0 = default)")
 		resume     = flag.Bool("resume", false, "resume exploration from -checkpoint")
+		lintPath   = flag.String("lint", "", "run the mpilint static analyzer over Go sources at PATH first")
 		verbose    = flag.Bool("v", false, "print each interleaving as it is explored")
 	)
 	flag.Parse()
@@ -63,8 +75,31 @@ func main() {
 			fmt.Printf("%s %-14s [%s] %s\n", wc, w.Name, w.Suite, w.Description)
 		}
 		fmt.Println("\n('*' marks workloads with wildcard non-determinism)")
+		fmt.Println("(pass -lint PATH to statically analyze workload sources first; see cmd/mpilint)")
 		return
 	}
+
+	var lintRep *mpilint.Report
+	if *lintPath != "" {
+		rep, err := mpilint.Run([]string{*lintPath}, mpilint.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("lint: %w", err))
+		}
+		lintRep = rep
+		for _, d := range rep.Failing() {
+			fmt.Printf("lint: %s\n", d)
+		}
+		if *name == "" {
+			for _, d := range rep.Wildcards() {
+				fmt.Printf("lint: %s\n", d)
+			}
+			if len(rep.Failing()) > 0 {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+
 	if *name == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -187,6 +222,14 @@ func main() {
 		}
 		for _, l := range res.Leaks.RequestLeaks {
 			fmt.Printf("  R-leak: %s\n", l)
+		}
+	}
+	if lintRep != nil {
+		if wc := lintRep.Wildcards(); len(wc) > 0 {
+			fmt.Printf("  static wildcard audit (%d receive sites in %s):\n", len(wc), *lintPath)
+			for _, d := range wc {
+				fmt.Printf("    %s\n", d)
+			}
 		}
 	}
 	if *stats && res.Stats != nil {

@@ -34,7 +34,7 @@ const (
 )
 
 // solver is the MPI program: rank 0 monitors; the rest solve.
-func solver(p *mpi.Proc) error {
+func solver(p *mpi.Proc) (err error) {
 	world := p.CommWorld()
 	isMonitor := p.Rank() == 0
 
@@ -47,7 +47,11 @@ func solver(p *mpi.Proc) error {
 	if err != nil {
 		return err
 	}
-	defer p.CommFree(grid)
+	defer func() {
+		if ferr := p.CommFree(grid); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	if isMonitor {
 		// One report per solver per step, in whatever order they arrive.

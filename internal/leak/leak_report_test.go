@@ -1,0 +1,119 @@
+package leak
+
+import (
+	"fmt"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"dampi/mpi"
+)
+
+func TestReportStringFormat(t *testing.T) {
+	rep := &Report{
+		CommLeaks:    []string{"a", "b"},
+		RequestLeaks: []string{"c"},
+	}
+	if got, want := rep.String(), "leaks{comms=2 requests=1}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	empty := &Report{}
+	if got, want := empty.String(), "leaks{comms=0 requests=0}"; got != want {
+		t.Errorf("empty String() = %q, want %q", got, want)
+	}
+}
+
+var (
+	commLeakRe = regexp.MustCompile(`^rank \d+: communicator .+#\d+ never freed$`)
+	reqLeakRe  = regexp.MustCompile(`^rank \d+: request (send|recv)\(.+\) never completed$`)
+)
+
+// TestReportEntryFormat pins the leak-description shapes other layers print
+// verbatim (cmd/dampi prefixes them with "C-leak:"/"R-leak:").
+func TestReportEntryFormat(t *testing.T) {
+	rep := runTracked(t, 2, func(p *mpi.Proc) error {
+		if _, err := p.CommDup(p.CommWorld()); err != nil {
+			return err
+		}
+		_, err := p.Irecv(p.Rank(), 99, p.CommWorld())
+		return err
+	})
+	if len(rep.CommLeaks) != 2 || len(rep.RequestLeaks) != 2 {
+		t.Fatalf("leaks = %d comms, %d requests, want 2 and 2", len(rep.CommLeaks), len(rep.RequestLeaks))
+	}
+	for _, l := range rep.CommLeaks {
+		if !commLeakRe.MatchString(l) {
+			t.Errorf("comm leak %q does not match %v", l, commLeakRe)
+		}
+	}
+	for _, l := range rep.RequestLeaks {
+		if !reqLeakRe.MatchString(l) {
+			t.Errorf("request leak %q does not match %v", l, reqLeakRe)
+		}
+		if !strings.Contains(l, "tag=99") {
+			t.Errorf("request leak %q does not carry the posted tag", l)
+		}
+	}
+}
+
+// TestReportMultiRankOrdering checks that the aggregated report is
+// deterministic and grouped by ascending rank, no matter which order the
+// ranks reached finalize in.
+func TestReportMultiRankOrdering(t *testing.T) {
+	const procs = 4
+	tr := NewTracker()
+	w := mpi.NewWorld(mpi.Config{Procs: procs, Hooks: tr.Hooks()})
+	err := w.Run(func(p *mpi.Proc) error {
+		// Every rank leaks one dup and one self-receive. Lower ranks sleep
+		// longer, so finalize order is roughly the reverse of rank order.
+		time.Sleep(time.Duration(procs-p.Rank()) * 5 * time.Millisecond)
+		if _, err := p.CommDup(p.CommWorld()); err != nil {
+			return err
+		}
+		_, err := p.Irecv(p.Rank(), 5, p.CommWorld())
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := tr.Report()
+	if len(rep.CommLeaks) != procs || len(rep.RequestLeaks) != procs {
+		t.Fatalf("leaks = %d comms, %d requests, want %d each\ncomms: %v\nreqs: %v",
+			len(rep.CommLeaks), len(rep.RequestLeaks), procs, rep.CommLeaks, rep.RequestLeaks)
+	}
+	for i := 0; i < procs; i++ {
+		prefix := fmt.Sprintf("rank %d:", i)
+		if !strings.HasPrefix(rep.CommLeaks[i], prefix) {
+			t.Errorf("CommLeaks[%d] = %q, want prefix %q", i, rep.CommLeaks[i], prefix)
+		}
+		if !strings.HasPrefix(rep.RequestLeaks[i], prefix) {
+			t.Errorf("RequestLeaks[%d] = %q, want prefix %q", i, rep.RequestLeaks[i], prefix)
+		}
+	}
+	if again := tr.Report(); !reflect.DeepEqual(rep, again) {
+		t.Error("Report() is not deterministic across calls")
+	}
+}
+
+// TestReportMultipleLeaksPerRankSorted checks the within-rank sort applied
+// at finalize.
+func TestReportMultipleLeaksPerRankSorted(t *testing.T) {
+	rep := runTracked(t, 1, func(p *mpi.Proc) error {
+		for i := 0; i < 3; i++ {
+			if _, err := p.CommDup(p.CommWorld()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if len(rep.CommLeaks) != 3 {
+		t.Fatalf("comm leaks = %d, want 3", len(rep.CommLeaks))
+	}
+	for i := 1; i < len(rep.CommLeaks); i++ {
+		if rep.CommLeaks[i-1] > rep.CommLeaks[i] {
+			t.Errorf("CommLeaks not sorted: %q > %q", rep.CommLeaks[i-1], rep.CommLeaks[i])
+		}
+	}
+}

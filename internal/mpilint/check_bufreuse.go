@@ -1,0 +1,130 @@
+package mpilint
+
+import "go/ast"
+
+// bufreuse: between posting an Isend/Issend and completing it, the send
+// buffer belongs to the MPI library; writing to it races the transfer
+// (undefined behaviour in MPI, payload corruption here). The check scans the
+// statements between the posting call and the statement completing its
+// request (or the end of the enclosing block) for writes through the buffer
+// identifier: assignments to buf / buf[i] / buf[a:b], ++/--, copy(buf, ...)
+// and re-appends. Writes hidden behind other aliases are not seen — a
+// documented under-approximation.
+
+var bufreuseCheck = &checkDef{
+	name:     "bufreuse",
+	doc:      "send buffer written between Isend and its completion",
+	severity: SevError,
+	run:      runBufreuse,
+}
+
+func runBufreuse(fc *funcCtx) {
+	for _, mc := range fc.calls {
+		bufIdx, ok := sendBufArgIdx[mc.method]
+		if !ok || len(mc.call.Args) <= bufIdx {
+			continue
+		}
+		buf := baseIdent(mc.call.Args[bufIdx])
+		if buf == nil {
+			continue // payload built in place (literal, call): nothing to alias
+		}
+		bufObj := fc.obj(buf)
+		if bufObj == nil {
+			continue
+		}
+		reqID, _ := fc.bindingIdent(mc.call, 0)
+		reqObj := fc.obj(reqID)
+
+		list, idx := fc.enclosingStmtList(mc.call)
+		if idx < 0 {
+			continue
+		}
+		// The window closes at the first statement that completes the
+		// request (or any request, when the request is untraceable).
+		end := len(list)
+		for i := idx + 1; i < len(list); i++ {
+			if fc.stmtCompletes(list[i], reqObj) {
+				end = i
+				break
+			}
+		}
+		for i := idx + 1; i < end; i++ {
+			fc.findBufWrites(list[i], bufObj, buf.Name, mc)
+		}
+	}
+}
+
+// stmtCompletes reports whether the statement contains a completion call
+// that (possibly) consumes reqObj. With a nil reqObj any completion closes
+// the window, erring toward fewer reports.
+func (fc *funcCtx) stmtCompletes(st ast.Stmt, reqObj any) bool {
+	done := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || done {
+			return !done
+		}
+		mc := fc.scope.asMPICall(call)
+		if mc == nil || !isReqCompletion(mc) {
+			return true
+		}
+		if reqObj == nil {
+			done = true
+			return false
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && fc.obj(id) == reqObj {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				done = true
+				return false
+			}
+		}
+		// Completion of some other request set: if the argument is a slice
+		// the request may have been appended to, stay conservative and
+		// treat it as closing the window too.
+		for _, arg := range call.Args {
+			if fc.scope.kindOf(arg) == kReqSlice {
+				done = true
+				return false
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// findBufWrites reports writes through bufObj inside st.
+func (fc *funcCtx) findBufWrites(st ast.Stmt, bufObj any, bufName string, mc *mpiCall) {
+	writes := func(e ast.Expr) bool {
+		base := baseIdent(e)
+		return base != nil && fc.obj(base) == bufObj
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range nn.Lhs {
+				if writes(lhs) {
+					fc.reportf(nn, "send buffer %s is written here before the %s at line %d completes",
+						bufName, mc.method, fc.line(mc.call))
+				}
+			}
+		case *ast.IncDecStmt:
+			if writes(nn.X) {
+				fc.reportf(nn, "send buffer %s is written here before the %s at line %d completes",
+					bufName, mc.method, fc.line(mc.call))
+			}
+		case *ast.CallExpr:
+			if fn, ok := nn.Fun.(*ast.Ident); ok && fn.Name == "copy" && len(nn.Args) == 2 && writes(nn.Args[0]) {
+				fc.reportf(nn, "send buffer %s is overwritten by copy before the %s at line %d completes",
+					bufName, mc.method, fc.line(mc.call))
+			}
+		}
+		return true
+	})
+}

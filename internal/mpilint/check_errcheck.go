@@ -1,0 +1,36 @@
+package mpilint
+
+import "go/ast"
+
+// errcheck: every MPI operation returns an error that the runtime uses to
+// report aborts, usage errors and deadlock teardown; a discarded error hides
+// all of them. The check flags MPI calls whose results are implicitly
+// dropped — used as a bare expression statement or under defer/go. An
+// explicit `_ =` assignment is an acknowledged discard and is not flagged.
+
+var errcheckCheck = &checkDef{
+	name:     "errcheck",
+	doc:      "error result of an MPI call is implicitly discarded",
+	severity: SevError,
+	run:      runErrcheck,
+}
+
+func runErrcheck(fc *funcCtx) {
+	for _, mc := range fc.calls {
+		if !mpiMethodSet[mc.method] {
+			continue
+		}
+		switch p := fc.parent[mc.call].(type) {
+		case *ast.ExprStmt:
+			fc.reportf(mc.call, "error returned by %s is discarded", mc.method)
+		case *ast.DeferStmt:
+			if p.Call == mc.call {
+				fc.reportf(mc.call, "error returned by deferred %s is discarded", mc.method)
+			}
+		case *ast.GoStmt:
+			if p.Call == mc.call {
+				fc.reportf(mc.call, "error returned by %s in go statement is discarded", mc.method)
+			}
+		}
+	}
+}

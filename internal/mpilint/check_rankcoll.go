@@ -1,0 +1,144 @@
+package mpilint
+
+import "go/ast"
+
+// rankcoll: a collective operation must be entered by every rank of its
+// communicator; calling one under a condition derived from Rank() means
+// some ranks may skip it (or call a different one), the classic
+// mismatched-collective deadlock (cf. examples/deadlock). The check taints
+// identifiers data-flow-derived from Proc.Rank()/Comm.Rank() and flags
+// collectives lexically inside an if/switch governed by a tainted
+// condition. Control-derived values (a constant assigned inside a tainted
+// branch) are not tracked — a documented under-approximation.
+
+var rankcollCheck = &checkDef{
+	name:     "rankcoll",
+	doc:      "collective called under a rank-dependent condition (mismatch deadlock risk)",
+	severity: SevError,
+	run:      runRankcoll,
+}
+
+func runRankcoll(fc *funcCtx) {
+	taint := fc.rankTaint()
+
+	exprTainted := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.Ident:
+				if o := fc.obj(nn); o != nil && taint[o] {
+					found = true
+				}
+			case *ast.CallExpr:
+				if isRankCall(fc.scope, nn) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	seen := map[*ast.CallExpr]bool{}
+	for _, mc := range fc.calls {
+		if !collectives[mc.method] || seen[mc.call] {
+			continue
+		}
+		// Climb: is the call inside the body of an if/switch whose
+		// condition is rank-tainted?
+		for child, parent := ast.Node(mc.call), fc.parent[mc.call]; parent != nil; child, parent = parent, fc.parent[parent] {
+			switch p := parent.(type) {
+			case *ast.IfStmt:
+				// only the taken branches count, not the condition itself
+				if (p.Body == child || p.Else == child) && exprTainted(p.Cond) {
+					seen[mc.call] = true
+					fc.reportf(mc.call, "collective %s is called under a rank-dependent condition (line %d); all ranks of the communicator must call it",
+						mc.method, fc.line(p.Cond))
+				}
+			case *ast.SwitchStmt:
+				if p.Tag != nil && exprTainted(p.Tag) {
+					seen[mc.call] = true
+					fc.reportf(mc.call, "collective %s is called under a rank-dependent switch (line %d); all ranks of the communicator must call it",
+						mc.method, fc.line(p.Tag))
+				}
+			case *ast.CaseClause:
+				// switch { case p.Rank() == 0: ... }
+				for _, e := range p.List {
+					if exprTainted(e) {
+						seen[mc.call] = true
+						fc.reportf(mc.call, "collective %s is called under a rank-dependent case (line %d); all ranks of the communicator must call it",
+							mc.method, fc.line(e))
+						break
+					}
+				}
+			case *ast.FuncLit:
+				// taint does not cross into deferred/spawned closures'
+				// calling conditions; stop climbing at the literal boundary
+			}
+			if seen[mc.call] {
+				break
+			}
+		}
+	}
+}
+
+// rankTaint computes the set of objects data-flow-derived from Rank().
+func (fc *funcCtx) rankTaint() map[any]bool {
+	taint := map[any]bool{}
+	derived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.Ident:
+				if o := fc.obj(nn); o != nil && taint[o] {
+					found = true
+				}
+			case *ast.CallExpr:
+				if isRankCall(fc.scope, nn) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	// Fixpoint over assignments (chains like me := p.Rank(); odd := me%2).
+	for changed, rounds := true, 0; changed && rounds < 8; rounds++ {
+		changed = false
+		ast.Inspect(fc.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				o := fc.obj(id)
+				if o == nil || taint[o] {
+					continue
+				}
+				if derived(rhs) {
+					taint[o] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// isRankCall recognizes X.Rank() on a proc or communicator.
+func isRankCall(s *funcScope, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rank" || len(call.Args) != 0 {
+		return false
+	}
+	k := s.kindOf(sel.X)
+	return k == kProc || k == kComm
+}

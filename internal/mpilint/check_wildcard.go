@@ -1,0 +1,70 @@
+package mpilint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wildcard: audit every receive/probe site that can match nondeterministically
+// (AnySource and/or AnyTag). These are exactly the decision points the
+// dynamic verifier must explore, so the audit feeds its coverage story: a
+// program whose audit is empty is deterministic and needs only one
+// interleaving. Informational severity — wildcards are legal MPI.
+
+var wildcardCheck = &checkDef{
+	name:     "wildcard",
+	doc:      "audit of AnySource/AnyTag receive sites (informational)",
+	severity: SevInfo,
+	run:      runWildcard,
+}
+
+func runWildcard(fc *funcCtx) {
+	// Identifiers assigned (anywhere in the function) from mpi.AnySource or
+	// mpi.AnyTag: receives through them are conditionally wild.
+	maybeWild := map[any]string{}
+	ast.Inspect(fc.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for _, name := range []string{"AnySource", "AnyTag"} {
+				if fc.scope.isMPIConst(rhs, name) {
+					if o := fc.obj(id); o != nil {
+						maybeWild[o] = name
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, mc := range fc.calls {
+		idx, ok := recvArgIdx[mc.method]
+		if !ok || len(mc.call.Args) <= idx[1] {
+			continue
+		}
+		var parts []string
+		describe := func(arg ast.Expr, constName, argName string) {
+			switch {
+			case fc.scope.isMPIConst(arg, constName):
+				parts = append(parts, argName+"="+constName)
+			default:
+				if id, ok := unparen(arg).(*ast.Ident); ok {
+					if o := fc.obj(id); o != nil && maybeWild[o] == constName {
+						parts = append(parts, argName+"="+constName+" (via "+id.Name+")")
+					}
+				}
+			}
+		}
+		describe(mc.call.Args[idx[0]], "AnySource", "src")
+		describe(mc.call.Args[idx[1]], "AnyTag", "tag")
+		if len(parts) > 0 {
+			fc.reportf(mc.call, "wildcard receive: %s with %s", mc.method, strings.Join(parts, ", "))
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package mpilint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation markers in fixture sources. "want:<check>"
+// expects an unsuppressed diagnostic on that line; "want+sup:<check>" expects
+// a diagnostic reported with Suppressed=true. A line may carry several
+// markers.
+var wantRe = regexp.MustCompile(`want(\+sup)?:([a-z]+)`)
+
+type expectation struct {
+	file       string // base name
+	line       int
+	check      string
+	suppressed bool
+}
+
+func (e expectation) String() string {
+	s := fmt.Sprintf("%s:%d:%s", e.file, e.line, e.check)
+	if e.suppressed {
+		s += " (suppressed)"
+	}
+	return s
+}
+
+func readExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var out []expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for ln := 1; sc.Scan(); ln++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				out = append(out, expectation{
+					file:       ent.Name(),
+					line:       ln,
+					check:      m[2],
+					suppressed: m[1] == "+sup",
+				})
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+func runFixture(t *testing.T, dir string, opts Options) []expectation {
+	t.Helper()
+	rep, err := Run([]string{dir}, opts)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", dir, err)
+	}
+	var got []expectation
+	for _, d := range rep.Diags {
+		got = append(got, expectation{
+			file:       filepath.Base(d.File),
+			line:       d.Line,
+			check:      d.Check,
+			suppressed: d.Suppressed,
+		})
+	}
+	return got
+}
+
+func diffExpectations(t *testing.T, want, got []expectation) {
+	t.Helper()
+	toSet := func(es []expectation) map[string]bool {
+		m := make(map[string]bool, len(es))
+		for _, e := range es {
+			m[e.String()] = true
+		}
+		return m
+	}
+	ws, gs := toSet(want), toSet(got)
+	var missing, extra []string
+	for k := range ws {
+		if !gs[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range gs {
+		if !ws[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, k := range missing {
+		t.Errorf("missing diagnostic: %s", k)
+	}
+	for _, k := range extra {
+		t.Errorf("unexpected diagnostic: %s", k)
+	}
+}
+
+// TestCheckFixtures runs every check over its fixture directory and requires
+// the reported diagnostics to match the // want: markers exactly — both that
+// every marked line is flagged and that nothing else is.
+func TestCheckFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture directories under testdata/src")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			want := readExpectations(t, dir)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no want: markers", dir)
+			}
+			t.Run("typed", func(t *testing.T) {
+				diffExpectations(t, want, runFixture(t, dir, Options{}))
+			})
+			t.Run("syntactic", func(t *testing.T) {
+				diffExpectations(t, want, runFixture(t, dir, Options{NoTypeCheck: true}))
+			})
+		})
+	}
+}
+
+// TestFixtureSelectedChecks verifies -checks style filtering: running only
+// the errcheck check over the rleak fixture must produce nothing, and running
+// rleak alone reproduces exactly the rleak markers.
+func TestFixtureSelectedChecks(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "rleak")
+
+	rep, err := Run([]string{dir}, Options{Checks: []string{"errcheck"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diags) != 0 {
+		t.Errorf("errcheck-only run over rleak fixture: got %d diagnostics, want 0", len(rep.Diags))
+	}
+
+	var want []expectation
+	for _, e := range readExpectations(t, dir) {
+		if e.check == "rleak" {
+			want = append(want, e)
+		}
+	}
+	diffExpectations(t, want, runFixture(t, dir, Options{Checks: []string{"rleak"}}))
+}
+
+// TestFixtureSeverities pins the severity model: wildcard audit findings are
+// informational and never fail a run, while rleak findings do.
+func TestFixtureSeverities(t *testing.T) {
+	rep, err := Run([]string{filepath.Join("testdata", "src", "wildcard")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Failing()); n != 0 {
+		t.Errorf("wildcard fixture: %d failing diagnostics, want 0 (audit is informational)", n)
+	}
+	if n := len(rep.Wildcards()); n == 0 {
+		t.Error("wildcard fixture: no wildcard audit entries reported")
+	}
+
+	rep, err = Run([]string{filepath.Join("testdata", "src", "rleak")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failing()) == 0 {
+		t.Error("rleak fixture: no failing diagnostics, want some")
+	}
+}
+
+// TestFixtureSuppressionToggle checks DisableSuppressions: with it set, the
+// suppress fixture's diagnostics come back unsuppressed (and therefore fail).
+func TestFixtureSuppressionToggle(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "suppress")
+
+	rep, err := Run([]string{dir}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppressed := 0
+	for _, d := range rep.Diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("default run: no suppressed diagnostics in suppress fixture")
+	}
+
+	rep, err = Run([]string{dir}, Options{DisableSuppressions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Diags {
+		if d.Suppressed {
+			t.Errorf("DisableSuppressions run still marks %s suppressed", d.String())
+		}
+	}
+	if len(rep.Failing()) <= suppressed-1 {
+		t.Errorf("DisableSuppressions run: %d failing, want at least %d", len(rep.Failing()), suppressed)
+	}
+}

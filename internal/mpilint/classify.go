@@ -1,0 +1,371 @@
+package mpilint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// classifier answers "what mpi role does this expression play?" for one
+// package, combining best-effort go/types information with a syntactic
+// oracle (import-qualified type syntax, struct-field tables, and the known
+// result signatures of the mpi.Proc API).
+type classifier struct {
+	fset *token.FileSet
+	ti   *typeInfo
+
+	// mpiAlias is the local import name of dampi/mpi per file ("mpi" by
+	// default, "." for a dot import, "" when not imported).
+	mpiAlias map[*ast.File]string
+
+	// procFields / commFields / reqFields name struct fields declared in
+	// this package with mpi types, so selectors like cl.p classify without
+	// type information.
+	procFields map[string]bool
+	commFields map[string]bool
+	reqFields  map[string]bool
+}
+
+func newClassifier(fset *token.FileSet, files []*ast.File, ti *typeInfo) *classifier {
+	c := &classifier{
+		fset:       fset,
+		ti:         ti,
+		mpiAlias:   map[*ast.File]string{},
+		procFields: map[string]bool{},
+		commFields: map[string]bool{},
+		reqFields:  map[string]bool{},
+	}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value != `"`+mpiPkgPath+`"` {
+				continue
+			}
+			alias := "mpi"
+			if imp.Name != nil {
+				alias = imp.Name.Name
+			}
+			c.mpiAlias[f] = alias
+		}
+		alias := c.mpiAlias[f]
+		if alias == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				k := c.kindOfTypeExpr(field.Type, alias)
+				if k == kNone {
+					continue
+				}
+				for _, name := range field.Names {
+					switch k {
+					case kProc:
+						c.procFields[name.Name] = true
+					case kComm:
+						c.commFields[name.Name] = true
+					case kRequest, kReqSlice:
+						c.reqFields[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return c
+}
+
+// kindOfTypeExpr classifies a type syntax tree (e.g. *mpi.Proc) given the
+// file's mpi import alias.
+func (c *classifier) kindOfTypeExpr(t ast.Expr, alias string) kind {
+	switch tt := t.(type) {
+	case *ast.StarExpr:
+		switch c.selName(tt.X, alias) {
+		case "Proc":
+			return kProc
+		case "Request":
+			return kRequest
+		}
+	case *ast.SelectorExpr:
+		if c.selName(tt, alias) == "Comm" {
+			return kComm
+		}
+	case *ast.Ident:
+		// dot import: Comm / Proc unqualified
+		if alias == "." {
+			switch tt.Name {
+			case "Comm":
+				return kComm
+			}
+		}
+	case *ast.ArrayType:
+		if tt.Len == nil {
+			if se, ok := tt.Elt.(*ast.StarExpr); ok && c.selName(se.X, alias) == "Request" {
+				return kReqSlice
+			}
+		}
+	}
+	return kNone
+}
+
+// selName returns Sel's name if e is alias.Sel (or a bare ident under a dot
+// import); "" otherwise.
+func (c *classifier) selName(e ast.Expr, alias string) string {
+	switch se := e.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := se.X.(*ast.Ident); ok && id.Name == alias {
+			return se.Sel.Name
+		}
+	case *ast.Ident:
+		if alias == "." {
+			return se.Name
+		}
+	}
+	return ""
+}
+
+// scope builds the per-function classification state.
+type funcScope struct {
+	c     *classifier
+	file  *ast.File
+	alias string
+	kinds map[*ast.Object]kind
+}
+
+func (c *classifier) scopeFor(file *ast.File, fn *ast.FuncDecl) *funcScope {
+	s := &funcScope{c: c, file: file, alias: c.mpiAlias[file], kinds: map[*ast.Object]kind{}}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			k := c.kindOfTypeExpr(field.Type, s.alias)
+			if k == kNone {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Obj != nil {
+					s.kinds[name.Obj] = k
+				}
+			}
+		}
+	}
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+	// Nested function literals share the object space; include their
+	// parameters too.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			addFields(fl.Type.Params)
+			addFields(fl.Type.Results)
+		}
+		return true
+	})
+
+	// Propagate the known result kinds of API calls to local variables.
+	// Two passes so a variable assigned late still classifies uses that the
+	// first pass saw as receivers.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				s.learnAssign(st.Lhs, st.Rhs)
+			case *ast.DeclStmt:
+				if gd, ok := st.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						if vs.Type != nil {
+							k := c.kindOfTypeExpr(vs.Type, s.alias)
+							for _, name := range vs.Names {
+								if k != kNone && name.Obj != nil {
+									s.kinds[name.Obj] = k
+								}
+							}
+						} else {
+							s.learnAssign(identExprs(vs.Names), vs.Values)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, r := range reqs { ... } classifies r as a request.
+				if s.kindOf(st.X) == kReqSlice {
+					if id, ok := st.Value.(*ast.Ident); ok && id.Obj != nil {
+						s.kinds[id.Obj] = kRequest
+					}
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// learnAssign records kinds flowing from RHS expressions into LHS idents.
+func (s *funcScope) learnAssign(lhs, rhs []ast.Expr) {
+	set := func(e ast.Expr, k kind) {
+		if k == kNone {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Obj != nil {
+			s.kinds[id.Obj] = k
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Multi-value: req, err := p.Irecv(...) / nc, err := p.CommDup(...)
+		if mc := s.asMPICall(rhs[0]); mc != nil {
+			switch {
+			case requestMakers[mc.method]:
+				set(lhs[0], kRequest)
+			case commMakers[mc.method]:
+				set(lhs[0], kComm)
+			}
+		}
+		return
+	}
+	for i := range lhs {
+		if i < len(rhs) {
+			set(lhs[i], s.kindOf(rhs[i]))
+		}
+	}
+}
+
+// kindOf classifies an expression, consulting go/types first and falling
+// back to the syntactic oracle.
+func (s *funcScope) kindOf(e ast.Expr) kind {
+	if ti := s.c.ti; ti != nil && ti.info != nil {
+		if tv, ok := ti.info.Types[e]; ok && tv.Type != nil {
+			if k := kindOfType(tv.Type); k != kNone {
+				return k
+			}
+		}
+	}
+	switch ex := e.(type) {
+	case *ast.Ident:
+		if ex.Obj != nil {
+			return s.kinds[ex.Obj]
+		}
+	case *ast.SelectorExpr:
+		name := ex.Sel.Name
+		switch {
+		case s.c.procFields[name]:
+			return kProc
+		case s.c.commFields[name]:
+			return kComm
+		case s.c.reqFields[name]:
+			return kRequest
+		}
+	case *ast.CallExpr:
+		if sel, ok := ex.Fun.(*ast.SelectorExpr); ok {
+			if s.kindOf(sel.X) == kProc && sel.Sel.Name == "CommWorld" {
+				return kComm
+			}
+		}
+	case *ast.ParenExpr:
+		return s.kindOf(ex.X)
+	case *ast.IndexExpr:
+		if s.kindOf(ex.X) == kReqSlice {
+			return kRequest
+		}
+	case *ast.CompositeLit:
+		if ex.Type != nil {
+			return s.c.kindOfTypeExpr(ex.Type, s.alias)
+		}
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			// &x never yields an mpi kind we track (Proc/Request are
+			// already pointers, Comm is used by value).
+			return kNone
+		}
+	}
+	return kNone
+}
+
+// mpiCall is a recognized MPI operation: a method call on a *mpi.Proc.
+type mpiCall struct {
+	call   *ast.CallExpr
+	sel    *ast.SelectorExpr
+	method string
+}
+
+// asMPICall recognizes e as an MPI operation.
+func (s *funcScope) asMPICall(e ast.Expr) *mpiCall {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if !procMethodSet[sel.Sel.Name] {
+		return nil
+	}
+	if s.kindOf(sel.X) != kProc {
+		return nil
+	}
+	return &mpiCall{call: call, sel: sel, method: sel.Sel.Name}
+}
+
+// isMPIConst reports whether e denotes the mpi package constant name
+// (AnySource or AnyTag).
+func (s *funcScope) isMPIConst(e ast.Expr, name string) bool {
+	e = unparen(e)
+	if ti := s.c.ti; ti != nil && ti.info != nil {
+		switch ex := e.(type) {
+		case *ast.SelectorExpr:
+			if obj := ti.info.Uses[ex.Sel]; obj != nil {
+				return constIs(obj, name)
+			}
+		case *ast.Ident:
+			if obj := ti.info.Uses[ex]; obj != nil {
+				if constIs(obj, name) {
+					return true
+				}
+			}
+		}
+	}
+	return s.c.selName(e, s.alias) == name
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// baseIdent returns the identifier at the base of an lvalue-ish expression
+// (buf, buf[i], buf[a:b], *buf), or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch ex := e.(type) {
+		case *ast.Ident:
+			return ex
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.SliceExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.ParenExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package mpilint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "pkg/a.go", Line: 12, Check: "rleak", Message: "request leaked"}
+	if got, want := d.String(), "pkg/a.go:12: [rleak] request leaked"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	_, err := Run([]string{filepath.Join("testdata", "src", "rleak")}, Options{Checks: []string{"nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("Run with unknown check: err = %v, want mention of %q", err, "nosuch")
+	}
+}
+
+func TestRunSingleFile(t *testing.T) {
+	rep, err := Run([]string{filepath.Join("testdata", "src", "errcheck", "errcheck.go")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failing()) == 0 {
+		t.Error("single-file run over errcheck fixture found nothing")
+	}
+	for _, d := range rep.Diags {
+		if filepath.Base(d.File) != "errcheck.go" {
+			t.Errorf("diagnostic from unexpected file %s", d.File)
+		}
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	rep, err := Run([]string{filepath.Join("testdata", "src", "errcheck")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Diags []Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Diags) != len(rep.Diags) {
+		t.Errorf("JSON round-trip: %d diags, want %d", len(back.Diags), len(rep.Diags))
+	}
+	for _, d := range back.Diags {
+		if d.Sev == "" {
+			t.Errorf("diag %s: empty sev string in JSON", d.String())
+		}
+	}
+}
+
+func TestCheckNamesHaveDocs(t *testing.T) {
+	docs := CheckDoc()
+	names := CheckNames()
+	if len(names) < 6 {
+		t.Fatalf("expected at least 6 checks, got %d", len(names))
+	}
+	for _, n := range names {
+		if docs[n] == "" {
+			t.Errorf("check %s has no doc string", n)
+		}
+	}
+}
+
+func TestRuntimePackageSkipped(t *testing.T) {
+	// The mpi runtime implements the API being modeled; its own internals
+	// must not be linted as user programs.
+	rep, err := Run([]string{filepath.Join("..", "..", "mpi")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diags) != 0 {
+		t.Errorf("linting the mpi runtime produced %d diagnostics, want 0; first: %s",
+			len(rep.Diags), rep.Diags[0].String())
+	}
+}

@@ -1,0 +1,69 @@
+package mpilint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressions maps file -> line -> the set of check names suppressed there
+// ("all" suppresses every check).
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment for the marker
+//
+//	//mpilint:ignore <check>[,<check>...] [-- reason]
+//
+// A marker applies to the line it is written on and to the following line,
+// covering both the trailing-comment and the comment-above styles.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	supp := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "mpilint:ignore")
+				if !ok {
+					continue
+				}
+				if reason := strings.Index(rest, "--"); reason >= 0 {
+					rest = rest[:reason]
+				}
+				checks := map[string]bool{}
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					checks[name] = true
+				}
+				if len(checks) == 0 {
+					checks["all"] = true
+				}
+				pos := fset.Position(c.Pos())
+				byLine := supp[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					supp[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					for name := range checks {
+						byLine[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return supp
+}
+
+func (s suppressions) matches(file string, line int, check string) bool {
+	byLine := s[file]
+	if byLine == nil {
+		return false
+	}
+	checks := byLine[line]
+	return checks != nil && (checks[check] || checks["all"])
+}

@@ -1,0 +1,98 @@
+package mpilint
+
+// Method tables of the mpi.Proc API surface. The analyzer recognizes an MPI
+// operation as a method call on a value of type *dampi/mpi.Proc whose name
+// appears in these tables; the tables mirror mpi/proc.go, mpi/proc_coll.go
+// and mpi/proc_ext.go and must be kept in sync when the API grows.
+
+// mpiMethodSet lists every Proc method that performs (or completes) an MPI
+// operation and returns an error.
+var mpiMethodSet = makeSet(
+	// point-to-point
+	"Isend", "Issend", "Send", "Ssend", "Irecv", "Recv", "Sendrecv",
+	// completion family
+	"Wait", "Test", "Waitall", "Waitany", "Testall", "Testany", "Waitsome",
+	"Cancel",
+	// probes
+	"Probe", "Iprobe",
+	// collectives
+	"Barrier", "Bcast", "Reduce", "Allreduce", "Gather", "Allgather",
+	"Scatter", "Alltoall", "Scan", "ReduceScatter",
+	// communicator management
+	"CommDup", "CommSplit", "CommFree",
+	// persistent requests
+	"Startall",
+)
+
+// procMethodSet additionally includes the error-free Proc methods, so the
+// classifier can treat any of them as "uses of a proc", not escapes.
+var procMethodSet = union(mpiMethodSet, makeSet(
+	"Rank", "Size", "World", "CommWorld", "PMPI", "Abort", "Pcontrol",
+	"SendInit", "RecvInit",
+))
+
+// requestMakers create a *mpi.Request as their first result.
+var requestMakers = makeSet("Isend", "Issend", "Irecv")
+
+// reqCompletionsSingle complete the single request passed as their argument.
+var reqCompletionsSingle = makeSet("Wait", "Test", "Cancel")
+
+// reqCompletionsSlice complete (or may complete) requests out of the slice
+// passed as their argument.
+var reqCompletionsSlice = makeSet("Waitall", "Waitany", "Testall", "Testany", "Waitsome")
+
+// commMakers create a new communicator (first result). CommWorld is excluded:
+// the world communicator is never freed.
+var commMakers = makeSet("CommDup", "CommSplit")
+
+// collectives must be entered by every rank of the communicator; calling one
+// under a rank-dependent condition risks a mismatched-collective deadlock.
+var collectives = makeSet(
+	"Barrier", "Bcast", "Reduce", "Allreduce", "Gather", "Allgather",
+	"Scatter", "Alltoall", "Scan", "ReduceScatter",
+	"CommDup", "CommSplit", "CommFree",
+)
+
+// recvArgIdx maps each receiving operation to the positions of its (src, tag)
+// arguments, for the wildcard audit.
+var recvArgIdx = map[string][2]int{
+	"Recv":     {0, 1},
+	"Irecv":    {0, 1},
+	"Probe":    {0, 1},
+	"Iprobe":   {0, 1},
+	"RecvInit": {0, 1},
+	"Sendrecv": {3, 4}, // (dest, sendTag, data, recvSrc, recvTag, comm)
+}
+
+// sendBufArgIdx maps each nonblocking send to the position of its payload
+// argument, for the buffer-reuse check.
+var sendBufArgIdx = map[string]int{
+	"Isend":  2,
+	"Issend": 2,
+}
+
+// requestMethods are methods on *mpi.Request; calling one is a read, not an
+// escape or a completion.
+var requestMethods = makeSet("Data", "Status", "Cancelled")
+
+// commMethods are methods on mpi.Comm; calling one neither frees the
+// communicator nor lets it escape.
+var commMethods = makeSet("ID", "Name", "Rank", "Size", "Valid", "WorldRank", "String")
+
+func makeSet(names ...string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+func union(sets ...map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range sets {
+		for k := range s {
+			out[k] = true
+		}
+	}
+	return out
+}

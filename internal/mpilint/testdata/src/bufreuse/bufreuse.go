@@ -1,0 +1,77 @@
+// bufreuse fixtures.
+package fixture
+
+import "dampi/mpi"
+
+func reusedBeforeWait(p *mpi.Proc, c mpi.Comm) error {
+	buf := []byte("hello")
+	req, err := p.Isend(1, 0, buf, c)
+	if err != nil {
+		return err
+	}
+	buf[0] = 'x' // want:bufreuse
+	_, err = p.Wait(req)
+	return err
+}
+
+func reusedViaCopy(p *mpi.Proc, c mpi.Comm) error {
+	buf := make([]byte, 8)
+	req, err := p.Issend(1, 0, buf, c)
+	if err != nil {
+		return err
+	}
+	copy(buf, []byte("overwrite")) // want:bufreuse
+	_, err = p.Wait(req)
+	return err
+}
+
+func reusedInLoopBody(p *mpi.Proc, c mpi.Comm) error {
+	buf := []byte{1, 2, 3}
+	req, err := p.Isend(1, 0, buf, c)
+	if err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i]++ // want:bufreuse
+	}
+	_, err = p.Wait(req)
+	return err
+}
+
+func safeAfterWait(p *mpi.Proc, c mpi.Comm) error {
+	buf := []byte("hello")
+	req, err := p.Isend(1, 0, buf, c)
+	if err != nil {
+		return err
+	}
+	if _, err := p.Wait(req); err != nil {
+		return err
+	}
+	buf[0] = 'x'
+	return p.Send(1, 1, buf, c)
+}
+
+func safeAfterWaitall(p *mpi.Proc, c mpi.Comm) error {
+	buf := []byte("hello")
+	req, err := p.Isend(1, 0, buf, c)
+	if err != nil {
+		return err
+	}
+	reqs := []*mpi.Request{req}
+	if _, err := p.Waitall(reqs); err != nil {
+		return err
+	}
+	buf[0] = 'x'
+	return nil
+}
+
+func freshPayloadEachTime(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Isend(1, 0, []byte("in place"), c)
+	if err != nil {
+		return err
+	}
+	other := []byte("unrelated")
+	other[0] = 'y'
+	_, err = p.Wait(req)
+	return err
+}

@@ -1,0 +1,55 @@
+// C-leak fixtures.
+package fixture
+
+import "dampi/mpi"
+
+func leakDup(p *mpi.Proc) error {
+	_, err := p.CommDup(p.CommWorld()) // want:cleak
+	return err
+}
+
+func leakSplit(p *mpi.Proc, c mpi.Comm) error {
+	sub, err := p.CommSplit(c, 1, 0) // want:cleak
+	if err != nil {
+		return err
+	}
+	// Using the communicator does not free it.
+	return p.Barrier(sub)
+}
+
+func dupFreed(p *mpi.Proc) error {
+	dup, err := p.CommDup(p.CommWorld())
+	if err != nil {
+		return err
+	}
+	if err := p.Barrier(dup); err != nil {
+		return err
+	}
+	return p.CommFree(dup)
+}
+
+func dupDeferFreed(p *mpi.Proc, c mpi.Comm) error {
+	dup, err := p.CommDup(c)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = p.CommFree(dup) }()
+	return p.Barrier(dup)
+}
+
+func dupEscapesReturn(p *mpi.Proc) (mpi.Comm, error) {
+	dup, err := p.CommDup(p.CommWorld())
+	return dup, err
+}
+
+func dupEscapesHelper(p *mpi.Proc, c mpi.Comm) error {
+	dup, err := p.CommDup(c)
+	if err != nil {
+		return err
+	}
+	return freeElsewhere(p, dup)
+}
+
+func freeElsewhere(p *mpi.Proc, c mpi.Comm) error {
+	return p.CommFree(c)
+}

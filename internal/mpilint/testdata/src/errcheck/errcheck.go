@@ -1,0 +1,32 @@
+// errcheck fixtures.
+package fixture
+
+import "dampi/mpi"
+
+func dropped(p *mpi.Proc, c mpi.Comm) {
+	p.Barrier(c) // want:errcheck
+}
+
+func droppedDefer(p *mpi.Proc, c mpi.Comm) error {
+	dup, err := p.CommDup(c)
+	if err != nil {
+		return err
+	}
+	defer p.CommFree(dup) // want:errcheck
+	return p.Barrier(c)
+}
+
+func droppedGo(p *mpi.Proc, c mpi.Comm) {
+	go p.Send(1, 0, []byte("x"), c) // want:errcheck
+}
+
+func acknowledged(p *mpi.Proc, c mpi.Comm) {
+	_ = p.Barrier(c)
+}
+
+func checkedInline(p *mpi.Proc, c mpi.Comm) error {
+	if err := p.Barrier(c); err != nil {
+		return err
+	}
+	return p.Ssend(0, 1, nil, c)
+}

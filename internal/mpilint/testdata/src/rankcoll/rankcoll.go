@@ -1,0 +1,64 @@
+// rankcoll fixtures.
+package fixture
+
+import "dampi/mpi"
+
+func ifGuarded(p *mpi.Proc, c mpi.Comm) error {
+	if p.Rank() == 0 {
+		return p.Barrier(c) // want:rankcoll
+	}
+	return nil
+}
+
+func elseGuarded(p *mpi.Proc, c mpi.Comm) error {
+	if p.Rank() == 0 {
+		return nil
+	} else {
+		_, err := p.Bcast(c, 0, nil) // want:rankcoll
+		return err
+	}
+}
+
+func switchGuarded(p *mpi.Proc, c mpi.Comm) error {
+	switch p.Rank() {
+	case 0:
+		return p.Barrier(c) // want:rankcoll
+	default:
+		return nil
+	}
+}
+
+func taintedVar(p *mpi.Proc, c mpi.Comm) error {
+	me := p.Rank()
+	half := me / 2
+	if half > 0 {
+		_, err := p.CommDup(c) // want:rankcoll want:cleak
+		return err
+	}
+	return nil
+}
+
+func unconditional(p *mpi.Proc, c mpi.Comm) error {
+	if err := p.Barrier(c); err != nil {
+		return err
+	}
+	_, err := p.Allreduce(c, nil, nil)
+	return err
+}
+
+func rankGuardedPointToPoint(p *mpi.Proc, c mpi.Comm) error {
+	// Point-to-point under a rank condition is the normal idiom, not a bug.
+	if p.Rank() == 0 {
+		return p.Send(1, 0, []byte("x"), c)
+	}
+	_, _, err := p.Recv(0, 0, c)
+	return err
+}
+
+func sizeGuarded(p *mpi.Proc, c mpi.Comm) error {
+	// Size is uniform across ranks, so this guard is fine.
+	if p.Size() > 1 {
+		return p.Barrier(c)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// R-leak fixtures: "// want:<check>" marks lines the analyzer must flag;
+// every unmarked line must stay clean.
+package fixture
+
+import "dampi/mpi"
+
+func leakBlank(p *mpi.Proc) error {
+	_, err := p.Irecv(0, 1, p.CommWorld()) // want:rleak
+	return err
+}
+
+func leakNoWait(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Isend(1, 0, []byte("x"), c) // want:rleak
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+func leakIssend(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Issend(1, 3, []byte("y"), c) // want:rleak
+	if err != nil {
+		return err
+	}
+	if req.Cancelled() {
+		return nil
+	}
+	return nil
+}
+
+func waited(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Irecv(0, 1, c)
+	if err != nil {
+		return err
+	}
+	_, err = p.Wait(req)
+	return err
+}
+
+func waitedOnSomePath(p *mpi.Proc, c mpi.Comm, flush bool) error {
+	req, err := p.Irecv(0, 1, c)
+	if err != nil {
+		return err
+	}
+	// Flow-insensitive: a completion on any path counts as completed.
+	if flush {
+		_, err = p.Wait(req)
+	}
+	return err
+}
+
+func waitallLiteral(p *mpi.Proc, c mpi.Comm) error {
+	rreq, err := p.Irecv(1, 0, c)
+	if err != nil {
+		return err
+	}
+	sreq, err := p.Isend(1, 0, []byte("z"), c)
+	if err != nil {
+		return err
+	}
+	_, err = p.Waitall([]*mpi.Request{rreq, sreq})
+	return err
+}
+
+func waitallAppended(p *mpi.Proc, c mpi.Comm) error {
+	var reqs []*mpi.Request
+	for i := 0; i < 3; i++ {
+		req, err := p.Irecv(i, 0, c)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	_, err := p.Waitall(reqs)
+	return err
+}
+
+func testedInLoop(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Isend(1, 0, []byte("w"), c)
+	if err != nil {
+		return err
+	}
+	for {
+		_, ok, err := p.Test(req)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+func cancelled(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Irecv(0, 7, c)
+	if err != nil {
+		return err
+	}
+	_, err = p.Cancel(req)
+	return err
+}
+
+func escapesReturn(p *mpi.Proc, c mpi.Comm) (*mpi.Request, error) {
+	req, err := p.Irecv(0, 1, c)
+	return req, err
+}
+
+func escapesHelper(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Irecv(0, 1, c)
+	if err != nil {
+		return err
+	}
+	return completeElsewhere(p, req)
+}
+
+func completeElsewhere(p *mpi.Proc, req *mpi.Request) error {
+	_, err := p.Wait(req)
+	return err
+}

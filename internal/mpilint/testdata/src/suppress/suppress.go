@@ -1,0 +1,29 @@
+// Suppression fixtures. "want+sup:<check>" marks diagnostics that must be
+// reported but carry Suppressed=true; plain "want:" ones stay unsuppressed.
+package fixture
+
+import "dampi/mpi"
+
+func suppressedTrailing(p *mpi.Proc, c mpi.Comm) {
+	p.Barrier(c) //mpilint:ignore errcheck -- fire and forget // want+sup:errcheck
+}
+
+func suppressedLeading(p *mpi.Proc, c mpi.Comm) error {
+	//mpilint:ignore rleak -- intentional leak injector
+	_, err := p.Irecv(0, 1, c) // want+sup:rleak
+	return err
+}
+
+func suppressedAll(p *mpi.Proc, c mpi.Comm) {
+	//mpilint:ignore all
+	p.Barrier(c) // want+sup:errcheck
+}
+
+func wrongCheckNamed(p *mpi.Proc, c mpi.Comm) {
+	//mpilint:ignore rleak -- names the wrong check, does not apply
+	p.Barrier(c) // want:errcheck
+}
+
+func notSuppressed(p *mpi.Proc, c mpi.Comm) {
+	p.Barrier(c) // want:errcheck
+}

@@ -1,0 +1,44 @@
+// wildcard fixtures (informational audit).
+package fixture
+
+import "dampi/mpi"
+
+func anySource(p *mpi.Proc, c mpi.Comm) error {
+	_, _, err := p.Recv(mpi.AnySource, 0, c) // want:wildcard
+	return err
+}
+
+func anyTag(p *mpi.Proc, c mpi.Comm) error {
+	_, _, err := p.Recv(0, mpi.AnyTag, c) // want:wildcard
+	return err
+}
+
+func bothWild(p *mpi.Proc, c mpi.Comm) error {
+	req, err := p.Irecv(mpi.AnySource, mpi.AnyTag, c) // want:wildcard
+	if err != nil {
+		return err
+	}
+	_, err = p.Wait(req)
+	return err
+}
+
+func sendrecvWild(p *mpi.Proc, c mpi.Comm) error {
+	_, _, err := p.Sendrecv(1, 0, nil, mpi.AnySource, 0, c) // want:wildcard
+	return err
+}
+
+func viaIdent(p *mpi.Proc, c mpi.Comm) error {
+	src := mpi.AnySource
+	_, _, err := p.Recv(src, 0, c) // want:wildcard
+	return err
+}
+
+func probeWild(p *mpi.Proc, c mpi.Comm) error {
+	_, err := p.Probe(mpi.AnySource, mpi.AnyTag, c) // want:wildcard
+	return err
+}
+
+func deterministic(p *mpi.Proc, c mpi.Comm) error {
+	_, _, err := p.Recv(0, 1, c)
+	return err
+}

@@ -1,0 +1,27 @@
+package testprogs
+
+import "dampi/mpi"
+
+// Clean exchanges one message with the neighbouring rank on a duplicated
+// communicator, completes every request, and frees the dup: no leaks of
+// either kind, statically or dynamically.
+func Clean(p *mpi.Proc) error {
+	c := p.CommWorld()
+	dup, err := p.CommDup(c)
+	if err != nil {
+		return err
+	}
+	partner := (p.Rank() + 1) % p.Size()
+	sreq, err := p.Isend(partner, 7, []byte("ping"), dup)
+	if err != nil {
+		return err
+	}
+	rreq, err := p.Irecv(partner, 7, dup)
+	if err != nil {
+		return err
+	}
+	if _, err := p.Waitall([]*mpi.Request{sreq, rreq}); err != nil {
+		return err
+	}
+	return p.CommFree(dup)
+}

@@ -1,0 +1,11 @@
+package testprogs
+
+import "dampi/mpi"
+
+// LeakComm duplicates the world communicator on every rank and never frees
+// it: a textbook C-leak, visible both statically and at finalize.
+func LeakComm(p *mpi.Proc) error {
+	//mpilint:ignore cleak -- intentional: cross-check fixture
+	_, err := p.CommDup(p.CommWorld())
+	return err
+}

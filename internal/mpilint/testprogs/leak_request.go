@@ -1,0 +1,11 @@
+package testprogs
+
+import "dampi/mpi"
+
+// LeakRequest posts a self-receive on every rank and never completes it: a
+// textbook R-leak, visible both statically and at finalize.
+func LeakRequest(p *mpi.Proc) error {
+	//mpilint:ignore rleak -- intentional: cross-check fixture
+	_, err := p.Irecv(p.Rank(), 99, p.CommWorld())
+	return err
+}
