@@ -1,0 +1,232 @@
+// BenchmarkReplayBaseline is the tracked replay-throughput baseline: it
+// self-times the canonical exploration workloads, compares them against the
+// pinned pre-overhaul numbers, and writes the whole picture to
+// BENCH_replay.json (committed to the repo; CI regenerates it as a build
+// artifact). Refresh it with:
+//
+//	go test -run=NONE -bench=ReplayBaseline -benchtime=1x .
+//
+// DESIGN.md ("Performance") documents how to read the file.
+package dampi
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dampi/mpi"
+	"dampi/verify"
+	"dampi/workloads/adlb"
+	"dampi/workloads/matmul"
+	"dampi/workloads/parmetis"
+)
+
+// Pre-overhaul numbers (measured on the same reference machine at the commit
+// before the sharded matching engine and zero-alloc piggyback path landed) —
+// the denominators for the tracked speedups.
+const (
+	prePRPingPongNsPerOp     = 5564
+	prePRPingPongBytesPerOp  = 1346
+	prePRPingPongAllocsPerOp = 32
+	prePRMatmulW8PerSec      = 2870.0
+	prePRADLBW8PerSec        = 3330.0
+)
+
+type replayRate struct {
+	Interleavings int     `json:"interleavings"`
+	Millis        float64 `json:"millis"`
+	PerSecond     float64 `json:"per_second"`
+}
+
+type pingPongStats struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type replayBaseline struct {
+	GeneratedBy string `json:"generated_by"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// PingPong is the raw runtime message-matching floor (2 msgs/op).
+	PingPong pingPongStats `json:"pingpong"`
+	// Matmul/ADLB map worker-pool size -> replay throughput.
+	Matmul map[string]replayRate `json:"matmul"`
+	ADLB   map[string]replayRate `json:"adlb"`
+	// NativeVsDAMPISlowdown is one instrumented single-interleaving run over
+	// one uninstrumented run of the same deterministic program (ParMETIS
+	// proxy), the Table II overhead headline.
+	NativeVsDAMPISlowdown float64 `json:"native_vs_dampi_slowdown"`
+
+	PrePR struct {
+		PingPong          pingPongStats `json:"pingpong"`
+		MatmulW8PerSecond float64       `json:"matmul_workers8_per_second"`
+		ADLBW8PerSecond   float64       `json:"adlb_workers8_per_second"`
+	} `json:"pre_overhaul_baseline"`
+	Speedup struct {
+		MatmulW8        float64 `json:"matmul_workers8"`
+		ADLBW8          float64 `json:"adlb_workers8"`
+		PingPongAllocs  float64 `json:"pingpong_allocs_ratio"`
+		PingPongLatency float64 `json:"pingpong_latency_ratio"`
+	} `json:"speedup_vs_pre_overhaul"`
+}
+
+// measurePingPong times iters send/recv round-trips between two ranks (one
+// op = one round-trip = 2 msgs, matching BenchmarkRuntime_PingPong) and
+// derives per-op allocation stats from the process-wide MemStats delta. World
+// setup is inside the measured window, amortized over iters like the real
+// benchmark's b.N loop.
+func measurePingPong(b *testing.B, iters int) pingPongStats {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	w := mpi.NewWorld(mpi.Config{Procs: 2})
+	err := w.Run(func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		buf := []byte("x")
+		for i := 0; i < iters; i++ {
+			if p.Rank() == 0 {
+				if err := p.Send(1, 0, buf, c); err != nil {
+					return err
+				}
+				if _, _, err := p.Recv(1, 0, c); err != nil {
+					return err
+				}
+			} else {
+				if _, _, err := p.Recv(0, 0, c); err != nil {
+					return err
+				}
+				if err := p.Send(0, 0, buf, c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pingPongStats{
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}
+}
+
+// timeExplore runs one exploration config reps times and returns the fastest
+// rep's throughput (best-of-N suppresses scheduler noise on small machines).
+func timeExplore(b *testing.B, cfg verify.Config, prog func(*mpi.Proc) error, reps int) replayRate {
+	b.Helper()
+	best := replayRate{}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err := verify.Run(cfg, prog)
+		el := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errored() {
+			b.Fatal(res.Errors[0].Err)
+		}
+		rate := float64(res.Interleavings) / el.Seconds()
+		if rate > best.PerSecond {
+			best = replayRate{
+				Interleavings: res.Interleavings,
+				Millis:        float64(el.Microseconds()) / 1000,
+				PerSecond:     rate,
+			}
+		}
+	}
+	return best
+}
+
+func BenchmarkReplayBaseline(b *testing.B) {
+	// The emitter self-times one full measurement pass per invocation and
+	// ignores b.N; run it with -benchtime=1x (as the CI smoke step does).
+	out := replayBaseline{
+		GeneratedBy: "go test -run=NONE -bench=ReplayBaseline -benchtime=1x .",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Matmul:      map[string]replayRate{},
+		ADLB:        map[string]replayRate{},
+	}
+
+	// Raw runtime floor. testing.Benchmark deadlocks when nested inside a
+	// running benchmark, so this self-times the same loop as
+	// BenchmarkRuntime_PingPong and reads MemStats around it.
+	out.PingPong = measurePingPong(b, 20000)
+
+	// Replay throughput at the tracked pool sizes.
+	mm := matmul.Program(matmul.Config{})
+	al := adlb.Program(adlb.DriverConfig{})
+	for _, workers := range []int{1, 4, 8} {
+		key := fmt.Sprintf("workers=%d", workers)
+		out.Matmul[key] = timeExplore(b, verify.Config{
+			Procs: 8, MaxInterleavings: 2000, Workers: workers,
+		}, mm, 3)
+		out.ADLB[key] = timeExplore(b, verify.Config{
+			Procs: 8, MixingBound: 1, MaxInterleavings: 2000, Workers: workers,
+		}, al, 3)
+	}
+
+	// Native-vs-DAMPI slowdown on a deterministic program.
+	pm := parmetis.Program(parmetis.Config{Scale: 100})
+	native := time.Duration(1<<63 - 1)
+	instrumented := native
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if err := mpi.NewWorld(mpi.Config{Procs: 16}).Run(pm); err != nil {
+			b.Fatal(err)
+		}
+		if el := time.Since(start); el < native {
+			native = el
+		}
+		start = time.Now()
+		res, err := verify.Run(verify.Config{Procs: 16, MaxInterleavings: 1}, pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errored() {
+			b.Fatal(res.Errors[0].Err)
+		}
+		if el := time.Since(start); el < instrumented {
+			instrumented = el
+		}
+	}
+	out.NativeVsDAMPISlowdown = instrumented.Seconds() / native.Seconds()
+
+	out.PrePR.PingPong = pingPongStats{
+		NsPerOp:     prePRPingPongNsPerOp,
+		BytesPerOp:  prePRPingPongBytesPerOp,
+		AllocsPerOp: prePRPingPongAllocsPerOp,
+	}
+	out.PrePR.MatmulW8PerSecond = prePRMatmulW8PerSec
+	out.PrePR.ADLBW8PerSecond = prePRADLBW8PerSec
+	out.Speedup.MatmulW8 = out.Matmul["workers=8"].PerSecond / prePRMatmulW8PerSec
+	out.Speedup.ADLBW8 = out.ADLB["workers=8"].PerSecond / prePRADLBW8PerSec
+	out.Speedup.PingPongAllocs = prePRPingPongAllocsPerOp / float64(out.PingPong.AllocsPerOp)
+	out.Speedup.PingPongLatency = prePRPingPongNsPerOp / float64(out.PingPong.NsPerOp)
+
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_replay.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportMetric(out.Matmul["workers=8"].PerSecond, "matmul8/s")
+	b.ReportMetric(out.ADLB["workers=8"].PerSecond, "adlb8/s")
+	b.ReportMetric(float64(out.PingPong.AllocsPerOp), "pingpong-allocs")
+	b.ReportMetric(out.NativeVsDAMPISlowdown, "slowdown")
+
+	for i := 0; i < b.N; i++ {
+		// Self-timed above.
+	}
+}

@@ -360,6 +360,7 @@ func BenchmarkAblation_LoopAbstraction(b *testing.B) {
 // Ablation 4: runtime message-matching fast path — the raw simulator's
 // point-to-point throughput, the floor under every other number here.
 func BenchmarkRuntime_PingPong(b *testing.B) {
+	b.ReportAllocs()
 	w := mpi.NewWorld(mpi.Config{Procs: 2})
 	done := make(chan error, 1)
 	go func() {

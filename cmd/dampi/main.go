@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dampi/internal/isp"
@@ -62,9 +64,19 @@ func main() {
 		ckpEvery   = flag.Int("checkpoint-every", 0, "replays between checkpoint writes (0 = default)")
 		resume     = flag.Bool("resume", false, "resume exploration from -checkpoint")
 		lintPath   = flag.String("lint", "", "run the mpilint static analyzer over Go sources at PATH first")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the exploration to FILE")
+		memProf    = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 		verbose    = flag.Bool("v", false, "print each interleaving as it is explored")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := startProfiles(*cpuProf, *memProf)
+		if err != nil {
+			fatal(err)
+		}
+		stopProfiles = stop
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -76,7 +88,7 @@ func main() {
 		}
 		fmt.Println("\n('*' marks workloads with wildcard non-determinism)")
 		fmt.Println("(pass -lint PATH to statically analyze workload sources first; see cmd/mpilint)")
-		return
+		exit(0)
 	}
 
 	var lintRep *mpilint.Report
@@ -94,15 +106,15 @@ func main() {
 				fmt.Printf("lint: %s\n", d)
 			}
 			if len(rep.Failing()) > 0 {
-				os.Exit(1)
+				exit(1)
 			}
-			return
+			exit(0)
 		}
 	}
 
 	if *name == "" {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	wl, err := workloads.Get(*name)
@@ -131,9 +143,9 @@ func main() {
 			fmt.Printf("  %v: %v\n", e, e.Err)
 		}
 		if rep.Errored() {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	case "dampi":
 	default:
 		fatal(fmt.Errorf("unknown baseline %q (dampi or isp)", *baseline))
@@ -158,9 +170,9 @@ func main() {
 		fmt.Printf("replay: %v\n", res)
 		if res.Err != nil {
 			fmt.Printf("  error: %v\n", res.Err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	tp := verify.Separate
@@ -197,10 +209,18 @@ func main() {
 		cfg.OnInterleaving = func(res *verify.InterleavingResult) {
 			fmt.Printf("  %v\n", res)
 		}
-		if *workers > 0 {
-			cfg.OnProgress = func(p verify.Progress) {
-				fmt.Printf("  progress: %d interleavings (%.1f/sec) frontier=%d busy=%d\n",
-					p.Interleavings, p.PerSecond, p.FrontierDepth, p.Busy)
+	}
+	// Track the trailing-window throughput for the footer (and the verbose
+	// progress line). The progress monitor goroutine is joined before Run
+	// returns, so reading lastWindow afterwards is race-free.
+	lastWindow := -1.0
+	if *workers > 0 {
+		printProgress := *verbose
+		cfg.OnProgress = func(p verify.Progress) {
+			lastWindow = p.WindowPerSecond
+			if printProgress {
+				fmt.Printf("  progress: %d interleavings (%.1f/sec window, %.1f/sec mean) frontier=%d busy=%d\n",
+					p.Interleavings, p.WindowPerSecond, p.PerSecond, p.FrontierDepth, p.Busy)
 			}
 		}
 	}
@@ -257,14 +277,66 @@ func main() {
 	if s := elapsed.Seconds(); s > 0 {
 		rate = float64(res.Interleavings) / s
 	}
-	fmt.Printf("explored %d interleavings in %v (%.1f interleavings/sec)\n",
-		res.Interleavings, elapsed.Round(time.Millisecond), rate)
-	if res.Errored() {
-		os.Exit(1)
+	if lastWindow >= 0 {
+		fmt.Printf("explored %d interleavings in %v (%.1f interleavings/sec mean, %.1f/sec trailing window)\n",
+			res.Interleavings, elapsed.Round(time.Millisecond), rate, lastWindow)
+	} else {
+		fmt.Printf("explored %d interleavings in %v (%.1f interleavings/sec)\n",
+			res.Interleavings, elapsed.Round(time.Millisecond), rate)
 	}
+	if res.Errored() {
+		exit(1)
+	}
+	exit(0)
+}
+
+// stopProfiles flushes any active profiles; every termination path must go
+// through exit() so profiles survive os.Exit.
+var stopProfiles func()
+
+// startProfiles begins CPU profiling (if cpu is set) and returns a stop
+// function that ends it and writes the heap profile (if mem is set).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dampi: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dampi: memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+func exit(code int) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
+	os.Exit(code)
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dampi: %v\n", err)
-	os.Exit(1)
+	exit(1)
 }

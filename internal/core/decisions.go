@@ -72,9 +72,22 @@ func (d *Decisions) Len() int {
 
 // Clone returns a deep copy (interleaving results keep their reproducer).
 func (d *Decisions) Clone() *Decisions {
-	out := NewDecisions()
+	return d.CloneWithCapacity(0)
+}
+
+// CloneWithCapacity returns a deep copy whose maps reserve room for extra
+// additional decisions, so a caller about to Force a known number of entries
+// (the expansion hot path clones once per child task) avoids growing the maps
+// mid-fill. The reservation is applied per rank — a deliberate overshoot,
+// since which ranks the coming forces land on isn't known yet. A nil receiver
+// yields a fresh empty set.
+func (d *Decisions) CloneWithCapacity(extra int) *Decisions {
+	if d == nil {
+		return NewDecisions()
+	}
+	out := &Decisions{ByRank: make(map[int]map[uint64]int, len(d.ByRank)+1)}
 	for r, m := range d.ByRank {
-		nm := make(map[uint64]int, len(m))
+		nm := make(map[uint64]int, len(m)+extra)
 		for lc, src := range m {
 			nm[lc] = src
 		}

@@ -131,6 +131,7 @@ type frame struct {
 // the heuristics) is covered.
 type Explorer struct {
 	cfg    ExplorerConfig
+	rc     *RunContext
 	stack  []*frame
 	forced map[EpochID]*frame
 	report *Report
@@ -144,7 +145,9 @@ func NewExplorer(cfg ExplorerConfig) *Explorer {
 	if cfg.Program == nil {
 		panic("core: ExplorerConfig.Program must be set")
 	}
-	return &Explorer{cfg: cfg, forced: make(map[EpochID]*frame), report: &Report{}}
+	e := &Explorer{cfg: cfg, forced: make(map[EpochID]*frame), report: &Report{}}
+	e.rc = NewRunContext(&e.cfg)
+	return e
 }
 
 // Explore runs the initial self-discovery run and then replays alternate
@@ -283,7 +286,7 @@ func (e *Explorer) record(res *InterleavingResult) {
 // runOnce executes one (self or guided) instrumented run and stamps the
 // result with the explorer's current interleaving index.
 func (e *Explorer) runOnce(decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
-	trace, res, err := e.cfg.run(decisions)
+	trace, res, err := e.rc.Run(decisions)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -291,27 +294,64 @@ func (e *Explorer) runOnce(decisions *Decisions) (*RunTrace, *InterleavingResult
 	return trace, res, nil
 }
 
-// ExecuteRun performs one (self or guided) instrumented run: it builds a
-// fresh Tool and mpi.World, executes the program under the given decisions,
-// and derives the run's trace and its deterministic reproducer. This is the
-// replay primitive shared by the serial explorer, the parallel engine
-// (internal/dexplore) and Replay; the returned result's Index is left 0 for
-// the caller to assign.
-func ExecuteRun(cfg *ExplorerConfig, decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
-	tool := NewTool(ToolConfig{
-		Procs:     cfg.Procs,
-		Clock:     cfg.Clock,
-		DualClock: cfg.DualClock,
-		Transport: cfg.Transport,
-		Decisions: decisions,
-	})
-	layers := []*mpi.Hooks{tool.Hooks()}
-	if cfg.ExtraHooks != nil {
-		layers = append(layers, cfg.ExtraHooks()...)
+// RunContext is a reusable replay slot: it executes sequential instrumented
+// runs of one configuration, recycling the DAMPI Tool (per-rank state,
+// scratch buffers, epoch freelists) and the hook stack across runs, and
+// feeding each world the queue high-water marks of its predecessors. The
+// serial explorer owns one; the parallel engine gives each worker its own.
+// A RunContext must not run concurrently with itself.
+type RunContext struct {
+	cfg       *ExplorerConfig
+	tool      *Tool
+	toolHooks *mpi.Hooks // cached stack when no extra hook layers are present
+	hints     mpi.SizeHints
+}
+
+// NewRunContext creates a replay slot for cfg. The config pointer is
+// retained; the caller must keep it alive and unmodified across runs.
+func NewRunContext(cfg *ExplorerConfig) *RunContext {
+	return &RunContext{cfg: cfg}
+}
+
+// Run performs one (self or guided) instrumented run, honoring the Runner
+// test seam when set. The returned result's Index is left 0 for the caller
+// to assign.
+func (rc *RunContext) Run(decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
+	cfg := rc.cfg
+	if cfg.Runner != nil {
+		return cfg.Runner(cfg, decisions)
 	}
-	world := mpi.NewWorld(mpi.Config{Procs: cfg.Procs, Hooks: pnmpi.Stack(layers...)})
+	if rc.tool == nil {
+		rc.tool = NewTool(ToolConfig{
+			Procs:     cfg.Procs,
+			Clock:     cfg.Clock,
+			DualClock: cfg.DualClock,
+			Transport: cfg.Transport,
+			Decisions: decisions,
+		})
+	} else {
+		rc.tool.Reset(decisions)
+	}
+	// ExtraHooks is consulted every run: factories that return layers only
+	// for the first run (e.g. verify's leak checker) get a tool-only stack
+	// afterwards, which is cached and reused.
+	var extra []*mpi.Hooks
+	if cfg.ExtraHooks != nil {
+		extra = cfg.ExtraHooks()
+	}
+	var hooks *mpi.Hooks
+	if len(extra) == 0 {
+		if rc.toolHooks == nil {
+			rc.toolHooks = pnmpi.Stack(rc.tool.Hooks())
+		}
+		hooks = rc.toolHooks
+	} else {
+		hooks = pnmpi.Stack(append([]*mpi.Hooks{rc.tool.Hooks()}, extra...)...)
+	}
+	world := mpi.NewWorld(mpi.Config{Procs: cfg.Procs, Hooks: hooks, Hints: rc.hints})
 	runErr := world.Run(cfg.Program)
-	trace := tool.Trace()
+	rc.hints = world.Hints()
+	trace := rc.tool.Trace()
 
 	res := &InterleavingResult{
 		Err:        runErr,
@@ -339,6 +379,15 @@ func ExecuteRun(cfg *ExplorerConfig, decisions *Decisions) (*RunTrace, *Interlea
 		res.Deadlock = true
 	}
 	return trace, res, nil
+}
+
+// ExecuteRun performs one (self or guided) instrumented run: it builds a
+// fresh Tool and mpi.World, executes the program under the given decisions,
+// and derives the run's trace and its deterministic reproducer. This is the
+// one-shot form of RunContext.Run, kept as the replay primitive for callers
+// without a replay sequence (Replay, one-off guided runs).
+func ExecuteRun(cfg *ExplorerConfig, decisions *Decisions) (*RunTrace, *InterleavingResult, error) {
+	return NewRunContext(cfg).Run(decisions)
 }
 
 // Replay performs a single guided run of the program under the given

@@ -63,8 +63,9 @@ type ToolConfig struct {
 }
 
 // Tool is the per-run DAMPI instrumentation: Algorithm 1 of the paper. One
-// Tool instruments one World.Run; create a fresh Tool per replay and collect
-// its RunTrace afterwards.
+// Tool instruments one World.Run; create a fresh Tool per replay (or reuse
+// one across sequential replays via Reset) and collect its RunTrace after
+// each run.
 type Tool struct {
 	cfg   ToolConfig
 	order atomic.Uint64 // global decision commit order
@@ -79,6 +80,19 @@ func NewTool(cfg ToolConfig) *Tool {
 		cfg.Decisions = NewDecisions()
 	}
 	return &Tool{cfg: cfg, states: make([]*rankState, cfg.Procs)}
+}
+
+// Reset prepares the Tool to instrument another sequential run under new
+// decisions, keeping the per-rank state objects (and their scratch buffers,
+// epoch freelists and shadow-comm maps) so a replay sequence stops
+// allocating tool state after the first run. Must not be called while a
+// world is running; collect the previous run's Trace first.
+func (t *Tool) Reset(decisions *Decisions) {
+	if decisions == nil {
+		decisions = NewDecisions()
+	}
+	t.cfg.Decisions = decisions
+	t.order.Store(0)
 }
 
 // rankState is one rank's DAMPI module state. Accessed only from the owning
@@ -104,6 +118,15 @@ type rankState struct {
 
 	unsafe     []UnsafeReport
 	mismatches []ForcedMismatch
+
+	// Hot-path scratch and freelists, reused across messages and (via
+	// Tool.Reset) across runs.
+	cvBuf        []uint64    // clockVec result (Lamport modes)
+	clockBuf     []uint64    // decoded message clocks (in-band, sweep)
+	packBuf      []byte      // in-band AppendPacked output
+	epochFree    []*epoch    // retired epochs from previous runs
+	recvInfoFree []*recvInfo // retired recvInfos from completed requests
+	sendInfoFree []*sendInfo // retired sendInfos from completed requests
 }
 
 // epoch is the per-rank record of one wildcard decision point.
@@ -119,7 +142,65 @@ type epoch struct {
 	chosen  int
 	order   uint64
 	alts    []int
-	seen    map[int]bool // sources whose earliest candidate was evaluated
+	seen    []bool // per comm-local source: earliest candidate was evaluated
+}
+
+// recycle readies st for another run on the same rank of a fresh world,
+// keeping allocated storage (maps, slices, freelists, piggyback buffers).
+func (st *rankState) recycle() {
+	clear(st.comms)
+	st.lc.Set(0)
+	st.lcOut.Set(0)
+	st.vc = nil
+	st.dual = false
+	st.mode = SelfRun
+	st.guidedEpoch = 0
+	st.epochFree = append(st.epochFree, st.epochs...)
+	st.epochs = st.epochs[:0]
+	st.recvPostSeq = 0
+	st.loopDepth = 0
+	st.pendingND = 0
+	st.unsafe = st.unsafe[:0]
+	st.mismatches = st.mismatches[:0]
+}
+
+// newEpoch takes an epoch from the freelist (or allocates one) with a
+// cleared seen set sized for the communicator.
+func (st *rankState) newEpoch(commSize int) *epoch {
+	if n := len(st.epochFree); n > 0 {
+		e := st.epochFree[n-1]
+		st.epochFree = st.epochFree[:n-1]
+		seen, alts := e.seen, e.alts[:0]
+		*e = epoch{alts: alts}
+		if cap(seen) >= commSize {
+			e.seen = seen[:commSize]
+			clear(e.seen)
+		} else {
+			e.seen = make([]bool, commSize)
+		}
+		return e
+	}
+	return &epoch{seen: make([]bool, commSize)}
+}
+
+func (st *rankState) newRecvInfo() *recvInfo {
+	if n := len(st.recvInfoFree); n > 0 {
+		ri := st.recvInfoFree[n-1]
+		st.recvInfoFree = st.recvInfoFree[:n-1]
+		*ri = recvInfo{}
+		return ri
+	}
+	return &recvInfo{}
+}
+
+func (st *rankState) newSendInfo() *sendInfo {
+	if n := len(st.sendInfoFree); n > 0 {
+		si := st.sendInfoFree[n-1]
+		st.sendInfoFree = st.sendInfoFree[:n-1]
+		*si = sendInfo{}
+		return si
+	}
+	return &sendInfo{}
 }
 
 // recvInfo is the tool state attached to receive requests.
@@ -145,14 +226,24 @@ func (t *Tool) state(p *mpi.Proc) *rankState {
 // clockVec returns the clock this rank transmits (piggybacks and
 // collectives). In dual-clock mode this is the transmit clock, which lags
 // the receive clock across posted-but-uncommitted wildcard epochs.
+// The returned slice aliases a per-rank scratch buffer in Lamport modes: it
+// is valid until the next clockVec call. Every consumer (piggyback encode,
+// in-band pack, collective clock-in) copies or folds it before the rank
+// issues another operation.
 func (st *rankState) clockVec() []uint64 {
 	if st.vc != nil {
 		return st.vc.Snapshot()
 	}
-	if st.dual {
-		return []uint64{st.lcOut.Value()}
+	if cap(st.cvBuf) < 1 {
+		st.cvBuf = make([]uint64, 1)
 	}
-	return []uint64{st.lc.Value()}
+	buf := st.cvBuf[:1]
+	if st.dual {
+		buf[0] = st.lcOut.Value()
+	} else {
+		buf[0] = st.lc.Value()
+	}
+	return buf
 }
 
 func (st *rankState) mergeClock(c []uint64) {
@@ -214,7 +305,17 @@ func (t *Tool) Hooks() *mpi.Hooks {
 }
 
 func (t *Tool) init(p *mpi.Proc) {
-	st := &rankState{p: p, pb: piggyback.NewRank(p), comms: make(map[int]mpi.Comm)}
+	t.mu.Lock()
+	st := t.states[p.Rank()]
+	t.mu.Unlock()
+	if st == nil {
+		st = &rankState{p: p, pb: piggyback.NewRank(p), comms: make(map[int]mpi.Comm)}
+	} else {
+		// Reused across runs (Tool.Reset): rebind to the fresh world's proc.
+		st.recycle()
+		st.p = p
+		st.pb.Reset(p)
+	}
 	st.comms[p.CommWorld().ID()] = p.CommWorld()
 	if t.cfg.Clock == VectorClock {
 		st.vc = clock.NewVector(t.cfg.Procs, p.Rank())
@@ -252,14 +353,17 @@ func (t *Tool) preSend(p *mpi.Proc, op *mpi.SendOp) {
 		})
 	}
 	if t.cfg.Transport == Inband {
-		op.Data = piggyback.Pack(st.clockVec(), op.Data)
+		// The runtime copies op.Data when the send is posted, so the pack
+		// scratch buffer is immediately reusable.
+		st.packBuf = piggyback.AppendPacked(st.packBuf[:0], st.clockVec(), op.Data)
+		op.Data = st.packBuf
 	}
 }
 
 func (t *Tool) postSend(p *mpi.Proc, op *mpi.SendOp, req *mpi.Request) {
 	st := t.state(p)
 	if t.cfg.Transport == Inband {
-		req.ToolData = &sendInfo{} // clock already travelled in the payload
+		req.ToolData = st.newSendInfo() // clock already travelled in the payload
 		return
 	}
 	pbReq, err := st.pb.SendClock(op.Dest, op.Tag, op.Comm, st.clockVec())
@@ -267,7 +371,9 @@ func (t *Tool) postSend(p *mpi.Proc, op *mpi.SendOp, req *mpi.Request) {
 		t.abort(p, err)
 		return
 	}
-	req.ToolData = &sendInfo{pbReq: pbReq}
+	si := st.newSendInfo()
+	si.pbReq = pbReq
+	req.ToolData = si
 }
 
 // --- point-to-point receives (MPI_Irecv of Algorithm 1) ---
@@ -293,20 +399,19 @@ func (t *Tool) preRecv(p *mpi.Proc, op *mpi.RecvOp) {
 func (t *Tool) postRecv(p *mpi.Proc, op *mpi.RecvOp, req *mpi.Request) {
 	st := t.state(p)
 	st.recvPostSeq++
-	info := &recvInfo{postSeq: st.recvPostSeq}
+	info := st.newRecvInfo()
+	info.postSeq = st.recvPostSeq
 	req.ToolData = info
 	if op.WasAnySource {
-		e := &epoch{
-			lc:      st.lc.Value(),
-			commID:  op.Comm.ID(),
-			tag:     op.Tag,
-			postSeq: st.recvPostSeq,
-			kind:    RecvEpoch,
-			guided:  st.mode == GuidedRun,
-			inLoop:  st.loopDepth > 0,
-			chosen:  -1,
-			seen:    make(map[int]bool),
-		}
+		e := st.newEpoch(op.Comm.Size())
+		e.lc = st.lc.Value()
+		e.commID = op.Comm.ID()
+		e.tag = op.Tag
+		e.postSeq = st.recvPostSeq
+		e.kind = RecvEpoch
+		e.guided = st.mode == GuidedRun
+		e.inLoop = st.loopDepth > 0
+		e.chosen = -1
 		st.epochs = append(st.epochs, e)
 		info.epoch = e
 		st.pendingND++
@@ -340,8 +445,11 @@ func (t *Tool) complete(p *mpi.Proc, req *mpi.Request, status mpi.Status) {
 		if info.pbReq != nil {
 			if err := st.pb.DrainSend(info.pbReq); err != nil {
 				t.abort(p, err)
+				return
 			}
 		}
+		req.ToolData = nil
+		st.sendInfoFree = append(st.sendInfoFree, info)
 	case *recvInfo:
 		if req.Cancelled() {
 			// No message arrived: retire the piggyback receive too and, for
@@ -362,6 +470,8 @@ func (t *Tool) complete(p *mpi.Proc, req *mpi.Request, status mpi.Status) {
 			if info.epoch != nil {
 				st.pendingND--
 			}
+			req.ToolData = nil
+			st.recvInfoFree = append(st.recvInfoFree, info)
 			return
 		}
 		var mclock []uint64
@@ -369,8 +479,9 @@ func (t *Tool) complete(p *mpi.Proc, req *mpi.Request, status mpi.Status) {
 		switch {
 		case t.cfg.Transport == Inband:
 			var payload []byte
-			mclock, payload, err = piggyback.Unpack(req.Data())
+			mclock, payload, err = piggyback.UnpackInto(st.clockBuf[:0], req.Data())
 			if err == nil {
+				st.clockBuf = mclock
 				req.ReplaceData(payload)
 				status.Count = len(payload)
 			}
@@ -399,6 +510,8 @@ func (t *Tool) complete(p *mpi.Proc, req *mpi.Request, status mpi.Status) {
 		}
 		t.findPotentialMatches(st, info, req, status, mclock)
 		st.mergeClock(mclock)
+		req.ToolData = nil
+		st.recvInfoFree = append(st.recvInfoFree, info)
 	}
 }
 
@@ -458,18 +571,16 @@ func (t *Tool) postProbe(p *mpi.Proc, op *mpi.ProbeOp, status mpi.Status, found 
 		// ready (flag=true), as in the paper.
 		return
 	}
-	e := &epoch{
-		lc:      st.lc.Value(),
-		commID:  op.Comm.ID(),
-		tag:     op.Tag,
-		postSeq: st.recvPostSeq, // probes don't consume; order among receives
-		kind:    ProbeEpoch,
-		guided:  st.mode == GuidedRun,
-		inLoop:  st.loopDepth > 0,
-		chosen:  status.Source,
-		order:   t.order.Add(1),
-		seen:    make(map[int]bool),
-	}
+	e := st.newEpoch(op.Comm.Size())
+	e.lc = st.lc.Value()
+	e.commID = op.Comm.ID()
+	e.tag = op.Tag
+	e.postSeq = st.recvPostSeq // probes don't consume; order among receives
+	e.kind = ProbeEpoch
+	e.guided = st.mode == GuidedRun
+	e.inLoop = st.loopDepth > 0
+	e.chosen = status.Source
+	e.order = t.order.Add(1)
 	st.epochs = append(st.epochs, e)
 	st.lc.Tick()
 	st.commitEpoch(e) // the probe's match decision commits immediately
@@ -576,13 +687,14 @@ func (t *Tool) sweepUnmatched(st *rankState) {
 			}
 			var mclock []uint64
 			if t.cfg.Transport == Inband {
-				mclock, _, err = piggyback.Unpack(data)
+				mclock, _, err = piggyback.UnpackInto(st.clockBuf[:0], data)
 				if err != nil {
 					break
 				}
 			} else {
-				mclock = piggyback.DecodeClock(data)
+				mclock = piggyback.DecodeClockInto(st.clockBuf[:0], data)
 			}
+			st.clockBuf = mclock[:0]
 			for _, e := range st.epochs {
 				if e.commID != commID {
 					continue

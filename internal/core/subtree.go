@@ -72,10 +72,9 @@ func (t *SubtreeTask) Expand(cfg *ExplorerConfig, trace *RunTrace) *Expansion {
 		ex.DecisionPoints++
 		if t.Explorable && !rec.InLoop && !autoLoop {
 			for _, alt := range rec.Alternates {
-				d := NewDecisions()
-				if t.Decisions != nil {
-					d = t.Decisions.Clone()
-				}
+				// Each child adds the prefix pins plus the flip itself on top
+				// of the inherited decisions; size the clone for them up front.
+				d := t.Decisions.CloneWithCapacity(len(prefix) + 1)
 				for _, p := range prefix {
 					d.Force(p.ID(), p.Chosen)
 				}

@@ -59,6 +59,11 @@ type Progress struct {
 	Interleavings int
 	// PerSecond is the mean completion rate since the exploration started.
 	PerSecond float64
+	// WindowPerSecond is the completion rate over the trailing rate window
+	// (currently 10s). On long explorations the mean goes stale — an hour of
+	// history swamps the last minute — so this is the "what is it doing right
+	// now" number. Falls back to the mean until enough history accumulates.
+	WindowPerSecond float64
 	// FrontierDepth is the number of pending (unstarted) subtree tasks.
 	FrontierDepth int
 	// Busy is the number of workers currently executing a replay.
@@ -84,6 +89,7 @@ type Engine struct {
 	runErr   error // first fatal replay-harness error
 	sinceCkp int   // completions since the last checkpoint write
 	start    time.Time
+	rate     *rateTracker // sampled by snapshot(); guarded by mu
 
 	cbMu sync.Mutex // serializes the OnInterleaving callback
 }
@@ -102,6 +108,7 @@ func New(cfg Config) *Engine {
 		workers:  cfg.Workers,
 		inflight: make(map[*core.SubtreeTask]bool),
 		report:   &core.Report{},
+		rate:     newRateTracker(rateWindow),
 	}
 	if e.workers < 1 {
 		e.workers = 1
@@ -193,7 +200,7 @@ func (e *Engine) Explore() (*core.Report, error) {
 // initial run with StopOnFirstError, or a single-run cap with no work).
 func (e *Engine) runRoot() (bool, error) {
 	root := core.RootTask(&e.cfg.Explorer)
-	tr, r, err := e.runTask(root)
+	tr, r, err := e.runTask(core.NewRunContext(&e.cfg.Explorer), root)
 	if err != nil {
 		return false, err
 	}
@@ -215,24 +222,24 @@ func (e *Engine) runRoot() (bool, error) {
 	return false, nil
 }
 
-// runTask executes one replay through the configured runner (the test seam)
-// or the real core.ExecuteRun.
-func (e *Engine) runTask(t *core.SubtreeTask) (*core.RunTrace, *core.InterleavingResult, error) {
-	if r := e.cfg.Explorer.Runner; r != nil {
-		return r(&e.cfg.Explorer, t.Decisions)
-	}
-	return core.ExecuteRun(&e.cfg.Explorer, t.Decisions)
+// runTask executes one replay through rc, which dispatches to the configured
+// runner (the test seam) when one is set.
+func (e *Engine) runTask(rc *core.RunContext, t *core.SubtreeTask) (*core.RunTrace, *core.InterleavingResult, error) {
+	return rc.Run(t.Decisions)
 }
 
 // work is one worker's loop: pop, replay, merge, until no work remains or
-// cancellation fires.
+// cancellation fires. Each worker owns a RunContext so per-replay tool state
+// (hook stacks, clock buffers, mailbox size hints) is recycled across the
+// replays it runs instead of rebuilt from scratch.
 func (e *Engine) work() {
+	rc := core.NewRunContext(&e.cfg.Explorer)
 	for {
 		t := e.next()
 		if t == nil {
 			return
 		}
-		trace, res, err := e.runTask(t)
+		trace, res, err := e.runTask(rc, t)
 		e.complete(t, trace, res, err)
 	}
 }
@@ -364,20 +371,29 @@ func (e *Engine) finish() error {
 	return nil
 }
 
-// snapshot builds a Progress under the lock.
+// snapshot builds a Progress under the lock, feeding the sliding-window rate
+// tracker one sample per call (the progress monitor drives it at
+// ProgressEvery granularity).
 func (e *Engine) snapshot() Progress {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	elapsed := time.Since(e.start)
-	rate := 0.0
+	now := time.Now()
+	elapsed := now.Sub(e.start)
+	mean := 0.0
 	if s := elapsed.Seconds(); s > 0 {
-		rate = float64(e.report.Interleavings) / s
+		mean = float64(e.report.Interleavings) / s
 	}
+	window, ok := e.rate.rate(now, e.report.Interleavings)
+	if !ok {
+		window = mean
+	}
+	e.rate.observe(now, e.report.Interleavings)
 	return Progress{
-		Interleavings: e.report.Interleavings,
-		PerSecond:     rate,
-		FrontierDepth: len(e.frontier),
-		Busy:          len(e.inflight),
-		Elapsed:       elapsed,
+		Interleavings:   e.report.Interleavings,
+		PerSecond:       mean,
+		WindowPerSecond: window,
+		FrontierDepth:   len(e.frontier),
+		Busy:            len(e.inflight),
+		Elapsed:         elapsed,
 	}
 }

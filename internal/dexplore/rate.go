@@ -1,0 +1,59 @@
+package dexplore
+
+import "time"
+
+// rateWindow is the span of the sliding-window throughput measurement
+// surfaced as Progress.WindowPerSecond.
+const rateWindow = 10 * time.Second
+
+// rateSample is one (time, cumulative count) observation.
+type rateSample struct {
+	t time.Time
+	n int
+}
+
+// rateTracker computes a sliding-window completion rate from periodic
+// cumulative-counter observations. The mean-since-start rate goes stale on
+// long explorations (an hour of history swamps the last minute); the window
+// rate tracks what the engine is doing now.
+type rateTracker struct {
+	window  time.Duration
+	samples []rateSample // oldest first; samples[0] is the window baseline
+}
+
+func newRateTracker(window time.Duration) *rateTracker {
+	return &rateTracker{window: window}
+}
+
+// observe records that the cumulative count had value n at time now, and
+// prunes history older than the window. Observations must arrive in time
+// order with non-decreasing counts.
+func (rt *rateTracker) observe(now time.Time, n int) {
+	rt.samples = append(rt.samples, rateSample{t: now, n: n})
+	cutoff := now.Add(-rt.window)
+	// Keep the newest sample at or before the cutoff as the baseline, so the
+	// measured span covers the whole window rather than a fragment of it.
+	i := 0
+	for i < len(rt.samples)-1 && !rt.samples[i+1].t.After(cutoff) {
+		i++
+	}
+	if i > 0 {
+		rt.samples = append(rt.samples[:0], rt.samples[i:]...)
+	}
+}
+
+// rate returns the completion rate over the trailing window ending at now.
+// ok is false when there is not yet enough history to measure (no baseline
+// observation or zero elapsed span); callers should fall back to the
+// mean-since-start rate.
+func (rt *rateTracker) rate(now time.Time, n int) (float64, bool) {
+	if len(rt.samples) == 0 {
+		return 0, false
+	}
+	base := rt.samples[0]
+	span := now.Sub(base.t)
+	if span <= 0 {
+		return 0, false
+	}
+	return float64(n-base.n) / span.Seconds(), true
+}

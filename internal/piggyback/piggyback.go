@@ -25,32 +25,66 @@ import (
 
 // EncodeClock serializes a logical clock (Lamport: one element; vector: N).
 func EncodeClock(clock []uint64) []byte {
-	out := make([]byte, 8*len(clock))
-	for i, v := range clock {
-		binary.LittleEndian.PutUint64(out[8*i:], v)
+	return AppendClock(make([]byte, 0, 8*len(clock)), clock)
+}
+
+// AppendClock serializes a logical clock onto dst (reusing its capacity) and
+// returns the extended slice — the zero-allocation form of EncodeClock for
+// callers that keep a scratch buffer.
+func AppendClock(dst []byte, clock []uint64) []byte {
+	for _, v := range clock {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}
-	return out
+	return dst
 }
 
 // DecodeClock deserializes a logical clock.
 func DecodeClock(b []byte) []uint64 {
-	out := make([]uint64, len(b)/8)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	return DecodeClockInto(nil, b)
+}
+
+// DecodeClockInto deserializes a logical clock into dst's storage when it has
+// the capacity (allocating only when it doesn't) and returns the decoded
+// clock. The zero-allocation form of DecodeClock.
+func DecodeClockInto(dst []uint64, b []byte) []uint64 {
+	n := len(b) / 8
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]uint64, n)
 	}
-	return out
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return dst
 }
 
 // Rank is the per-rank piggyback state. Methods must be called from the
 // owning rank's goroutine. All traffic goes through PMPI (unhooked) calls.
+//
+// The encode/decode scratch buffers make the steady-state clock path
+// allocation-free: clocks returned by WaitClock/RecvClockFrom alias decBuf
+// and are valid only until the next clock receive on this Rank — callers
+// must merge or copy before receiving again.
 type Rank struct {
 	p       *mpi.Proc
 	shadows map[int]mpi.Comm // payload comm ID -> this rank's shadow handle
+
+	encBuf []byte   // scratch for AppendClock in SendClock
+	decBuf []uint64 // scratch for DecodeClockInto; aliased by returned clocks
 }
 
 // NewRank creates the piggyback state for p.
 func NewRank(p *mpi.Proc) *Rank {
 	return &Rank{p: p, shadows: make(map[int]mpi.Comm)}
+}
+
+// Reset rebinds the Rank to a fresh proc (the same rank of a new world) and
+// clears per-run state, keeping the scratch buffers and map storage so a
+// replay sequence stops allocating after the first run.
+func (r *Rank) Reset(p *mpi.Proc) {
+	r.p = p
+	clear(r.shadows)
 }
 
 // SetupWorld creates the shadow of MPI_COMM_WORLD. Collective: every rank
@@ -97,7 +131,10 @@ func (r *Rank) SendClock(dest, tag int, c mpi.Comm, clock []uint64) (*mpi.Reques
 	if err != nil {
 		return nil, err
 	}
-	return r.p.PMPI().Isend(dest, tag, EncodeClock(clock), shadow)
+	// Isend copies the payload before returning, so the scratch buffer is
+	// immediately reusable.
+	r.encBuf = AppendClock(r.encBuf[:0], clock)
+	return r.p.PMPI().Isend(dest, tag, r.encBuf, shadow)
 }
 
 // PostRecvClock posts the piggyback receive paired with a deterministic
@@ -110,27 +147,37 @@ func (r *Rank) PostRecvClock(src, tag int, c mpi.Comm) (*mpi.Request, error) {
 	return r.p.PMPI().Irecv(src, tag, shadow)
 }
 
-// WaitClock completes a posted piggyback receive and decodes the clock.
+// WaitClock completes a posted piggyback receive and decodes the clock. The
+// returned clock aliases the Rank's decode buffer: it is valid until the
+// next clock receive.
 func (r *Rank) WaitClock(req *mpi.Request) ([]uint64, error) {
 	if _, err := r.p.PMPI().Wait(req); err != nil {
 		return nil, err
 	}
-	return DecodeClock(req.Data()), nil
+	r.decBuf = DecodeClockInto(r.decBuf, req.Data())
+	req.Release()
+	return r.decBuf, nil
 }
 
 // RecvClockFrom receives the piggyback for a completed wildcard receive,
 // now that the payload's source and tag are known (paper §II-D: deferred
-// piggyback receive).
+// piggyback receive). The returned clock aliases the Rank's decode buffer:
+// it is valid until the next clock receive.
 func (r *Rank) RecvClockFrom(src, tag int, c mpi.Comm) ([]uint64, error) {
 	shadow, err := r.Shadow(c)
 	if err != nil {
 		return nil, err
 	}
-	data, _, err := r.p.PMPI().Recv(src, tag, shadow)
+	req, err := r.p.PMPI().Irecv(src, tag, shadow)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeClock(data), nil
+	if _, err := r.p.PMPI().Wait(req); err != nil {
+		return nil, err
+	}
+	r.decBuf = DecodeClockInto(r.decBuf, req.Data())
+	req.Release()
+	return r.decBuf, nil
 }
 
 // Shadows returns a snapshot of the live payload-comm-ID -> shadow map.
@@ -161,17 +208,25 @@ func (r *Rank) DrainSend(req *mpi.Request) error {
 
 // Pack prepends a clock to a payload.
 func Pack(clock []uint64, payload []byte) []byte {
-	out := make([]byte, 4+8*len(clock)+len(payload))
-	binary.LittleEndian.PutUint32(out, uint32(len(clock)))
-	for i, v := range clock {
-		binary.LittleEndian.PutUint64(out[4+8*i:], v)
-	}
-	copy(out[4+8*len(clock):], payload)
-	return out
+	return AppendPacked(make([]byte, 0, 4+8*len(clock)+len(payload)), clock, payload)
+}
+
+// AppendPacked serializes [clock header][clock][payload] onto dst (reusing
+// its capacity) — the zero-allocation form of Pack.
+func AppendPacked(dst []byte, clock []uint64, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(clock)))
+	dst = AppendClock(dst, clock)
+	return append(dst, payload...)
 }
 
 // Unpack splits a packed payload back into clock and application data.
 func Unpack(b []byte) (clock []uint64, payload []byte, err error) {
+	return UnpackInto(nil, b)
+}
+
+// UnpackInto is Unpack decoding the clock into dst's storage when it has the
+// capacity. The returned payload aliases b.
+func UnpackInto(dst []uint64, b []byte) (clock []uint64, payload []byte, err error) {
 	if len(b) < 4 {
 		return nil, nil, fmt.Errorf("piggyback: packed payload too short (%d bytes)", len(b))
 	}
@@ -179,9 +234,5 @@ func Unpack(b []byte) (clock []uint64, payload []byte, err error) {
 	if len(b) < 4+8*n {
 		return nil, nil, fmt.Errorf("piggyback: packed payload truncated (%d bytes, %d clock words)", len(b), n)
 	}
-	clock = make([]uint64, n)
-	for i := range clock {
-		clock[i] = binary.LittleEndian.Uint64(b[4+8*i:])
-	}
-	return clock, b[4+8*n:], nil
+	return DecodeClockInto(dst, b[4:4+8*n]), b[4+8*n:], nil
 }

@@ -1,0 +1,54 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEagerSendAllocs guards the pooled eager-send/receive path: one
+// round-trip (Send+Recv on each side) must stay within a small allocation
+// budget now that envelopes, payload buffers and requests are pooled. The
+// pre-pooling runtime spent ~32 allocations per round-trip; the pooled path
+// spends 6. The budget leaves headroom for scheduler noise while still
+// catching a de-pooling regression.
+func TestEagerSendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	const iters = 5000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	w := NewWorld(Config{Procs: 2})
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		buf := []byte("x")
+		for i := 0; i < iters; i++ {
+			if p.Rank() == 0 {
+				if err := p.Send(1, 0, buf, c); err != nil {
+					return err
+				}
+				if _, _, err := p.Recv(1, 0, c); err != nil {
+					return err
+				}
+			} else {
+				if _, _, err := p.Recv(0, 0, c); err != nil {
+					return err
+				}
+				if err := p.Send(0, 0, buf, c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOp := float64(after.Mallocs-before.Mallocs) / iters
+	if perOp > 12 {
+		t.Fatalf("eager round-trip costs %.1f allocs (budget 12; pooled baseline is 6, pre-pooling was 32)", perOp)
+	}
+	t.Logf("eager round-trip: %.2f allocs/op", perOp)
+}

@@ -121,7 +121,9 @@ func (m PMPI) enterCollective(c Comm, a collArgs) (collResult, error) {
 			w.procs[wr].cond.Broadcast()
 		}
 	} else {
-		desc := fmt.Sprintf("%s(%s) [%d/%d arrived]", a.kind, c, inst.arrived, inst.n)
+		desc := func() string {
+			return fmt.Sprintf("%s(%s) [%d/%d arrived]", a.kind, c, inst.arrived, inst.n)
+		}
 		if err := w.block(p, desc, func() bool { return inst.done }); err != nil {
 			return collResult{}, err
 		}

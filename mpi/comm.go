@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Comm is a communicator handle as seen by one rank: it knows the group, the
@@ -31,10 +32,19 @@ type commInfo struct {
 }
 
 // mailbox holds the two matching queues of one destination rank in one
-// communicator.
+// communicator. Each mailbox has its own lock — the unit of sharding for the
+// matching engine. mb.mu is the innermost lock: code holding it must not
+// acquire w.mu (wakers release mb.mu first), while w.mu holders may take
+// mb.mu (deadlock-detector predicates, Hints).
 type mailbox struct {
+	mu         sync.Mutex
 	unexpected []*envelope
 	posted     []*Request
+
+	// Queue high-water marks, reported via World.Hints so later runs can
+	// pre-size their queues.
+	hiUnexpected int
+	hiPosted     int
 }
 
 // envelope is a message in flight (or sitting unexpected).
@@ -58,6 +68,16 @@ func (w *World) newCommLocked(name string, members []int) *commInfo {
 		collSeq: make([]uint64, len(members)),
 		colls:   make(map[uint64]*collective),
 		freed:   make([]bool, len(members)),
+	}
+	if h := w.hints; h.MailboxUnexpected > 0 || h.MailboxPosted > 0 {
+		for i := range ci.boxes {
+			if h.MailboxUnexpected > 0 {
+				ci.boxes[i].unexpected = make([]*envelope, 0, h.MailboxUnexpected)
+			}
+			if h.MailboxPosted > 0 {
+				ci.boxes[i].posted = make([]*Request, 0, h.MailboxPosted)
+			}
+		}
 	}
 	w.nextComm++
 	for lr, wr := range members {

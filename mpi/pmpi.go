@@ -5,6 +5,11 @@ import "fmt"
 // PMPI exposes the raw, unhooked runtime operations — the analogue of the
 // PMPI_* entry points. Tool layers use it to issue their own traffic (e.g.
 // piggyback messages) without re-entering the hooks.
+//
+// Point-to-point operations are mailbox fast paths: they take only the
+// destination mailbox's lock (never w.mu) unless they must park the rank.
+// Communicator topology (members, rankOf) is immutable after creation and
+// freed[i] is written only by rank i, so argument validation needs no lock.
 type PMPI struct {
 	p *Proc
 }
@@ -34,10 +39,8 @@ func (m PMPI) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, er
 		return nil, err
 	}
 	w := p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.failure != nil {
-		return nil, w.failure
+	if err := w.fastFailure(); err != nil {
+		return nil, err
 	}
 	if !c.Valid() {
 		return nil, &UsageError{Rank: p.rank, Op: "Isend", Msg: "invalid communicator"}
@@ -51,50 +54,70 @@ func (m PMPI) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, er
 	if tag < 0 {
 		return nil, &UsageError{Rank: p.rank, Op: "Isend", Msg: fmt.Sprintf("negative tag %d", tag)}
 	}
-	w.nextReq++
-	req := &Request{id: w.nextReq, kind: KindSend, proc: p, comm: c, peer: dest, tag: tag}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	req := p.newRequest()
+	req.id = w.nextReq.Add(1)
+	req.kind = KindSend
+	req.proc = p
+	req.comm = c
+	req.peer = dest
+	req.tag = tag
+	buf := append(getBuf(len(data)), data...)
 	req.data = buf
-	w.sendSeq++
-	env := &envelope{src: c.localRank, tag: tag, data: buf, seq: w.sendSeq}
+	env := getEnv()
+	env.src = c.localRank
+	env.tag = tag
+	env.data = buf
+	env.seq = w.sendSeq.Add(1)
 	if sync {
 		env.sreq = req
 	} else {
-		req.done = true
 		req.status = Status{Source: c.localRank, Tag: tag, Count: len(buf)}
+		req.done.Store(true)
 	}
-	w.deliverLocked(c.info, dest, env)
+	w.deliver(c.info, dest, env)
 	return req, nil
 }
 
-// deliverLocked matches env against the posted receives of (ci, dest) or
-// queues it as unexpected. Caller holds w.mu.
-func (w *World) deliverLocked(ci *commInfo, dest int, env *envelope) {
+// deliver matches env against the posted receives of (ci, dest) or queues it
+// as unexpected, holding only that mailbox's lock. Wakeups happen after the
+// lock is released (wake takes w.mu, which must not nest inside mb.mu).
+func (w *World) deliver(ci *commInfo, dest int, env *envelope) {
 	mb := &ci.boxes[dest]
+	mb.mu.Lock()
 	for i, preq := range mb.posted {
 		if preq.matchesEnv(env) {
 			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
-			preq.completeRecvLocked(env)
-			preq.proc.cond.Broadcast()
-			w.completeSyncSendLocked(env)
+			rp := preq.proc
+			preq.completeRecv(env)
+			sp := w.completeSyncSend(env)
+			putEnv(env)
+			mb.mu.Unlock()
+			w.wake(rp)
+			if sp != nil {
+				w.wake(sp)
+			}
 			return
 		}
 	}
 	mb.unexpected = append(mb.unexpected, env)
+	if n := len(mb.unexpected); n > mb.hiUnexpected {
+		mb.hiUnexpected = n
+	}
+	mb.mu.Unlock()
 	// A blocked probe on this rank may now be satisfiable.
-	w.procs[ci.members[dest]].cond.Broadcast()
+	w.wake(w.procs[ci.members[dest]])
 }
 
-// completeSyncSendLocked finishes the sender side of a synchronous send once
-// its envelope has been matched.
-func (w *World) completeSyncSendLocked(env *envelope) {
+// completeSyncSend finishes the sender side of a synchronous send once its
+// envelope has been matched. Caller holds the destination mailbox lock and
+// must wake the returned proc (if any) after releasing it.
+func (w *World) completeSyncSend(env *envelope) *Proc {
 	if env.sreq == nil {
-		return
+		return nil
 	}
-	env.sreq.done = true
 	env.sreq.status = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
-	env.sreq.proc.cond.Broadcast()
+	env.sreq.done.Store(true)
+	return env.sreq.proc
 }
 
 // Irecv posts a nonblocking receive. src may be AnySource; tag may be AnyTag.
@@ -104,10 +127,8 @@ func (m PMPI) Irecv(src, tag int, c Comm) (*Request, error) {
 		return nil, err
 	}
 	w := p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.failure != nil {
-		return nil, w.failure
+	if err := w.fastFailure(); err != nil {
+		return nil, err
 	}
 	if !c.Valid() {
 		return nil, &UsageError{Rank: p.rank, Op: "Irecv", Msg: "invalid communicator"}
@@ -118,33 +139,56 @@ func (m PMPI) Irecv(src, tag int, c Comm) (*Request, error) {
 	if err := c.checkPeer(p, "Irecv", src, true); err != nil {
 		return nil, err
 	}
-	w.nextReq++
-	req := &Request{id: w.nextReq, kind: KindRecv, proc: p, comm: c, peer: src, tag: tag}
+	req := p.newRequest()
+	req.id = w.nextReq.Add(1)
+	req.kind = KindRecv
+	req.proc = p
+	req.comm = c
+	req.peer = src
+	req.tag = tag
 	mb := &c.info.boxes[c.localRank]
+	mb.mu.Lock()
 	for i, env := range mb.unexpected {
 		if req.matchesEnv(env) {
 			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
-			req.completeRecvLocked(env)
-			w.completeSyncSendLocked(env)
+			req.completeRecv(env)
+			sp := w.completeSyncSend(env)
+			putEnv(env)
+			mb.mu.Unlock()
+			if sp != nil {
+				w.wake(sp)
+			}
 			return req, nil
 		}
 	}
 	mb.posted = append(mb.posted, req)
+	if n := len(mb.posted); n > mb.hiPosted {
+		mb.hiPosted = n
+	}
+	mb.mu.Unlock()
 	return req, nil
 }
 
 // Wait blocks until the request completes and consumes the completion.
-// Waiting on an already-consumed request returns its cached status.
+// Waiting on an already-consumed request returns its cached status. The
+// completed case is lock-free: only an uncompleted request parks the rank.
 func (m PMPI) Wait(req *Request) (Status, error) {
 	p := m.p
-	w := p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	if req.consumed {
 		return req.status, nil
 	}
-	desc := fmt.Sprintf("Wait(%s peer=%d tag=%d %s)", req.kind, req.peer, req.tag, req.comm)
-	if err := w.block(p, desc, func() bool { return req.done }); err != nil {
+	if req.done.Load() {
+		req.consumed = true
+		return req.status, nil
+	}
+	w := p.world
+	desc := func() string {
+		return fmt.Sprintf("Wait(%s peer=%d tag=%d %s)", req.kind, req.peer, req.tag, req.comm)
+	}
+	w.mu.Lock()
+	err := w.block(p, desc, func() bool { return req.done.Load() })
+	w.mu.Unlock()
+	if err != nil {
 		return Status{}, err
 	}
 	req.consumed = true
@@ -153,16 +197,13 @@ func (m PMPI) Wait(req *Request) (Status, error) {
 
 // Test checks the request without blocking; on completion it consumes it.
 func (m PMPI) Test(req *Request) (Status, bool, error) {
-	w := m.p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.failure != nil {
-		return Status{}, false, w.failure
+	if err := m.p.world.fastFailure(); err != nil {
+		return Status{}, false, err
 	}
 	if req.consumed {
 		return req.status, true, nil
 	}
-	if !req.done {
+	if !req.done.Load() {
 		return Status{}, false, nil
 	}
 	req.consumed = true
@@ -173,20 +214,27 @@ func (m PMPI) Test(req *Request) (Status, bool, error) {
 // consumes it, and returns its index and status.
 func (m PMPI) Waitany(reqs []*Request) (int, Status, error) {
 	p := m.p
+	for i, r := range reqs {
+		if r != nil && !r.consumed && r.done.Load() {
+			r.consumed = true
+			return i, r.status, nil
+		}
+	}
 	w := p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	idx := -1
 	pred := func() bool {
 		for i, r := range reqs {
-			if r != nil && r.done && !r.consumed {
+			if r != nil && !r.consumed && r.done.Load() {
 				idx = i
 				return true
 			}
 		}
 		return false
 	}
-	if err := w.block(p, fmt.Sprintf("Waitany(%d reqs)", len(reqs)), pred); err != nil {
+	w.mu.Lock()
+	err := w.block(p, func() string { return fmt.Sprintf("Waitany(%d reqs)", len(reqs)) }, pred)
+	w.mu.Unlock()
+	if err != nil {
 		return -1, Status{}, err
 	}
 	reqs[idx].consumed = true
@@ -198,10 +246,8 @@ func (m PMPI) Waitany(reqs []*Request) (int, Status, error) {
 func (m PMPI) Probe(src, tag int, c Comm) (Status, error) {
 	p := m.p
 	w := p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.failure != nil {
-		return Status{}, w.failure
+	if err := w.fastFailure(); err != nil {
+		return Status{}, err
 	}
 	if err := c.checkLive(p, "Probe"); err != nil {
 		return Status{}, err
@@ -209,16 +255,24 @@ func (m PMPI) Probe(src, tag int, c Comm) (Status, error) {
 	if err := c.checkPeer(p, "Probe", src, true); err != nil {
 		return Status{}, err
 	}
+	if st, ok := c.info.findUnexpectedStatus(c.localRank, src, tag); ok {
+		return st, nil
+	}
 	var st Status
 	pred := func() bool {
-		if env := c.info.findUnexpected(c.localRank, src, tag); env != nil {
-			st = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
-			return true
+		s, ok := c.info.findUnexpectedStatus(c.localRank, src, tag)
+		if ok {
+			st = s
 		}
-		return false
+		return ok
 	}
-	desc := fmt.Sprintf("Probe(src=%s, tag=%s, %s)", rankStr(src), tagStr(tag), c)
-	if err := w.block(p, desc, pred); err != nil {
+	desc := func() string {
+		return fmt.Sprintf("Probe(src=%s, tag=%s, %s)", rankStr(src), tagStr(tag), c)
+	}
+	w.mu.Lock()
+	err := w.block(p, desc, pred)
+	w.mu.Unlock()
+	if err != nil {
 		return Status{}, err
 	}
 	return st, nil
@@ -227,11 +281,8 @@ func (m PMPI) Probe(src, tag int, c Comm) (Status, error) {
 // Iprobe checks for a matching message without blocking.
 func (m PMPI) Iprobe(src, tag int, c Comm) (Status, bool, error) {
 	p := m.p
-	w := p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.failure != nil {
-		return Status{}, false, w.failure
+	if err := p.world.fastFailure(); err != nil {
+		return Status{}, false, err
 	}
 	if err := c.checkLive(p, "Iprobe"); err != nil {
 		return Status{}, false, err
@@ -239,45 +290,49 @@ func (m PMPI) Iprobe(src, tag int, c Comm) (Status, bool, error) {
 	if err := c.checkPeer(p, "Iprobe", src, true); err != nil {
 		return Status{}, false, err
 	}
-	if env := c.info.findUnexpected(c.localRank, src, tag); env != nil {
-		return Status{Source: env.src, Tag: env.tag, Count: len(env.data)}, true, nil
-	}
-	return Status{}, false, nil
+	st, ok := c.info.findUnexpectedStatus(c.localRank, src, tag)
+	return st, ok, nil
 }
 
-// findUnexpected returns the earliest unexpected envelope at dest matching
-// (src, tag), or nil.
-func (ci *commInfo) findUnexpected(dest, src, tag int) *envelope {
-	for _, env := range ci.boxes[dest].unexpected {
+// findUnexpectedStatus returns the status of the earliest unexpected envelope
+// at dest matching (src, tag). It copies the status out under the mailbox
+// lock — envelopes are pooled, so no reference may escape the lock.
+func (ci *commInfo) findUnexpectedStatus(dest, src, tag int) (Status, bool) {
+	mb := &ci.boxes[dest]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, env := range mb.unexpected {
 		if (src == AnySource || src == env.src) && (tag == AnyTag || tag == env.tag) {
-			return env
+			return Status{Source: env.src, Tag: env.tag, Count: len(env.data)}, true
 		}
 	}
-	return nil
+	return Status{}, false
 }
 
 // Cancel removes a posted, unmatched receive from its matching queue and
 // completes it as cancelled. Returns false if the request already matched
-// or is not a receive.
+// or is not a receive. The scan and the cancellation happen under the
+// mailbox lock, so Cancel is atomic with respect to delivery: a request
+// absent from the posted queue has definitely completed.
 func (m PMPI) Cancel(req *Request) (bool, error) {
 	if req.kind != KindRecv {
 		return false, nil
 	}
-	w := m.p.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if req.done {
-		return false, nil
-	}
 	mb := &req.comm.info.boxes[req.comm.localRank]
+	mb.mu.Lock()
 	for i, posted := range mb.posted {
 		if posted == req {
 			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
-			req.done = true
 			req.cancelled = true
 			req.status = Status{Source: AnySource, Tag: AnyTag, Count: 0}
+			req.done.Store(true)
+			mb.mu.Unlock()
 			return true, nil
 		}
+	}
+	mb.mu.Unlock()
+	if req.done.Load() {
+		return false, nil
 	}
 	return false, fmt.Errorf("mpi: Cancel: request neither posted nor done: %v", req)
 }

@@ -1,0 +1,64 @@
+package mpi
+
+import "sync"
+
+// Allocation pools for the message hot path. Envelopes and payload copies are
+// runtime-internal for most of their life, so both recycle through
+// package-level sync.Pools (shared across worlds: a replay-heavy exploration
+// reuses the same handful of objects across thousands of short-lived worlds).
+// Requests escape to the application and cannot be recycled; they are instead
+// slab-allocated per rank (see Proc.newRequest) so the allocator sees one
+// allocation per slab instead of one per request.
+
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+func getEnv() *envelope { return envPool.Get().(*envelope) }
+
+// putEnv recycles a matched envelope. The payload buffer is NOT recycled
+// here: it has been handed to the receiving request.
+func putEnv(e *envelope) {
+	*e = envelope{}
+	envPool.Put(e)
+}
+
+// bufPool recycles payload copy buffers. Only buffers explicitly returned
+// via Request.Release come back; in steady state the piggyback path (fixed
+// clock-sized messages at high rate) hits the pool on every send.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a zero-length buffer with capacity >= n.
+func getBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) >= n {
+		b := (*bp)[:0]
+		*bp = nil
+		bufPool.Put(bp)
+		return b
+	}
+	*bp = nil
+	bufPool.Put(bp)
+	return make([]byte, 0, n)
+}
+
+func putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// reqSlabSize is the per-rank Request slab length. A held request pins at
+// most this many siblings, a bounded cost traded for ~64x fewer allocations.
+const reqSlabSize = 64
+
+// newRequest slab-allocates a request. Must be called from the proc's owning
+// goroutine (all request-creating entry points are).
+func (p *Proc) newRequest() *Request {
+	if len(p.reqSlab) == 0 {
+		p.reqSlab = make([]Request, reqSlabSize)
+	}
+	r := &p.reqSlab[0]
+	p.reqSlab = p.reqSlab[1:]
+	return r
+}

@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Proc is one rank's handle into the world: the MPI API surface an
 // application programs against. All methods must be called from the rank's
@@ -12,10 +15,17 @@ type Proc struct {
 	cond  *sync.Cond
 	pmpi  PMPI
 
-	blockedAt   string      // non-empty while parked inside the runtime
-	blockedPred func() bool // the park condition, re-checked by the deadlock detector
+	// parked is the Dekker flag of the park/wake protocol: stored true
+	// (under w.mu) before a park predicate is evaluated, loaded by fast-path
+	// wakers after they publish a completion. See World.wake.
+	parked atomic.Bool
+
+	blockedAt   func() string // non-nil while parked: lazy deadlock-report description
+	blockedPred func() bool   // the park condition, re-checked by the deadlock detector
 	finished    bool
 	finalized   bool
+
+	reqSlab []Request // bump allocator for requests; owner-goroutine only
 
 	// ToolState is scratch space for the tool layer's per-rank module
 	// (DAMPI hangs its per-rank state here). The runtime never touches it.
@@ -33,7 +43,7 @@ func (p *Proc) World() *World { return p.world }
 
 // CommWorld returns this rank's MPI_COMM_WORLD handle.
 func (p *Proc) CommWorld() Comm {
-	return Comm{info: p.world.comms[0], localRank: p.rank}
+	return Comm{info: p.world.worldComm, localRank: p.rank}
 }
 
 // PMPI returns the unhooked operation surface for tool layers.
@@ -74,9 +84,16 @@ func (p *Proc) Issend(dest, tag int, data []byte, c Comm) (*Request, error) {
 }
 
 func (p *Proc) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, error) {
-	op := &SendOp{Dest: dest, Tag: tag, Data: data, Comm: c, Sync: sync}
 	h := p.hooks()
-	if h != nil && h.PreSend != nil {
+	if h == nil || (h.PreSend == nil && h.PostSend == nil) {
+		// No tool observing sends: skip the op-descriptor allocation.
+		if sync {
+			return p.pmpi.Issend(dest, tag, data, c)
+		}
+		return p.pmpi.Isend(dest, tag, data, c)
+	}
+	op := &SendOp{Dest: dest, Tag: tag, Data: data, Comm: c, Sync: sync}
+	if h.PreSend != nil {
 		h.PreSend(p, op)
 	}
 	var req *Request
@@ -89,7 +106,7 @@ func (p *Proc) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, e
 	if err != nil {
 		return nil, err
 	}
-	if h != nil && h.PostSend != nil {
+	if h.PostSend != nil {
 		h.PostSend(p, op, req)
 	}
 	return req, nil
@@ -100,10 +117,7 @@ func (p *Proc) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, e
 // PreWait does not — a blocking MPI_Send/MPI_Recv is a single operation, not
 // a send plus a wait, and op-statistics tools count it as such.
 func (p *Proc) waitInternal(req *Request) (Status, error) {
-	w := p.world
-	w.mu.Lock()
 	already := req.consumed
-	w.mu.Unlock()
 	st, err := p.pmpi.Wait(req)
 	if err != nil {
 		return st, err
@@ -140,16 +154,19 @@ func (p *Proc) Ssend(dest, tag int, data []byte, c Comm) error {
 
 // Irecv posts a nonblocking receive; src may be AnySource, tag may be AnyTag.
 func (p *Proc) Irecv(src, tag int, c Comm) (*Request, error) {
-	op := &RecvOp{Src: src, Tag: tag, Comm: c, WasAnySource: src == AnySource}
 	h := p.hooks()
-	if h != nil && h.PreRecv != nil {
+	if h == nil || (h.PreRecv == nil && h.PostRecv == nil) {
+		return p.pmpi.Irecv(src, tag, c)
+	}
+	op := &RecvOp{Src: src, Tag: tag, Comm: c, WasAnySource: src == AnySource}
+	if h.PreRecv != nil {
 		h.PreRecv(p, op)
 	}
 	req, err := p.pmpi.Irecv(op.Src, op.Tag, op.Comm)
 	if err != nil {
 		return nil, err
 	}
-	if h != nil && h.PostRecv != nil {
+	if h.PostRecv != nil {
 		h.PostRecv(p, op, req)
 	}
 	return req, nil
@@ -184,10 +201,7 @@ func (p *Proc) Wait(req *Request) (Status, error) {
 	if h != nil && h.PreWait != nil {
 		h.PreWait(p, []*Request{req})
 	}
-	w := p.world
-	w.mu.Lock()
 	already := req.consumed
-	w.mu.Unlock()
 	st, err := p.pmpi.Wait(req)
 	if err != nil {
 		return st, err
@@ -204,10 +218,7 @@ func (p *Proc) Test(req *Request) (Status, bool, error) {
 	if h != nil && h.PreWait != nil {
 		h.PreWait(p, []*Request{req})
 	}
-	w := p.world
-	w.mu.Lock()
 	already := req.consumed
-	w.mu.Unlock()
 	st, ok, err := p.pmpi.Test(req)
 	if err != nil || !ok {
 		return st, ok, err
@@ -251,15 +262,11 @@ func (p *Proc) Waitany(reqs []*Request) (int, Status, error) {
 // Testall reports whether all requests have completed; if so it consumes
 // them all and returns their statuses.
 func (p *Proc) Testall(reqs []*Request) ([]Status, bool, error) {
-	w := p.world
-	w.mu.Lock()
 	for _, r := range reqs {
-		if r != nil && !r.done {
-			w.mu.Unlock()
+		if r != nil && !r.done.Load() {
 			return nil, false, nil
 		}
 	}
-	w.mu.Unlock()
 	sts, err := p.Waitall(reqs) // all done: consumes without blocking
 	return sts, err == nil, err
 }
@@ -269,16 +276,19 @@ func (p *Proc) Testall(reqs []*Request) ([]Status, bool, error) {
 // Probe blocks until a matching message is available and returns its status
 // without receiving it.
 func (p *Proc) Probe(src, tag int, c Comm) (Status, error) {
-	op := &ProbeOp{Src: src, Tag: tag, Comm: c, Blocking: true, WasAnySource: src == AnySource}
 	h := p.hooks()
-	if h != nil && h.PreProbe != nil {
+	if h == nil || (h.PreProbe == nil && h.PostProbe == nil) {
+		return p.pmpi.Probe(src, tag, c)
+	}
+	op := &ProbeOp{Src: src, Tag: tag, Comm: c, Blocking: true, WasAnySource: src == AnySource}
+	if h.PreProbe != nil {
 		h.PreProbe(p, op)
 	}
 	st, err := p.pmpi.Probe(op.Src, op.Tag, op.Comm)
 	if err != nil {
 		return st, err
 	}
-	if h != nil && h.PostProbe != nil {
+	if h.PostProbe != nil {
 		h.PostProbe(p, op, st, true)
 	}
 	return st, nil
@@ -286,16 +296,19 @@ func (p *Proc) Probe(src, tag int, c Comm) (Status, error) {
 
 // Iprobe checks for a matching message without blocking.
 func (p *Proc) Iprobe(src, tag int, c Comm) (Status, bool, error) {
-	op := &ProbeOp{Src: src, Tag: tag, Comm: c, WasAnySource: src == AnySource}
 	h := p.hooks()
-	if h != nil && h.PreProbe != nil {
+	if h == nil || (h.PreProbe == nil && h.PostProbe == nil) {
+		return p.pmpi.Iprobe(src, tag, c)
+	}
+	op := &ProbeOp{Src: src, Tag: tag, Comm: c, WasAnySource: src == AnySource}
+	if h.PreProbe != nil {
 		h.PreProbe(p, op)
 	}
 	st, found, err := p.pmpi.Iprobe(op.Src, op.Tag, op.Comm)
 	if err != nil {
 		return st, found, err
 	}
-	if h != nil && h.PostProbe != nil {
+	if h.PostProbe != nil {
 		h.PostProbe(p, op, st, found)
 	}
 	return st, found, nil

@@ -56,25 +56,19 @@ func (p *Proc) Testany(reqs []*Request) (int, Status, bool, error) {
 	if h != nil && h.PreWait != nil {
 		h.PreWait(p, reqs)
 	}
-	w := p.world
-	w.mu.Lock()
+	var req *Request
 	idx := -1
 	for i, r := range reqs {
-		if r != nil && r.done && !r.consumed {
-			idx = i
+		if r != nil && !r.consumed && r.done.Load() {
+			idx, req = i, r
 			break
 		}
 	}
-	if idx < 0 {
-		err := w.failure
-		w.mu.Unlock()
-		return -1, Status{}, false, err
+	if req == nil {
+		return -1, Status{}, false, p.world.fastFailure()
 	}
-	req := reqs[idx]
 	req.consumed = true
-	st := req.status
-	w.mu.Unlock()
-	p.observeCompletion(req, st)
+	p.observeCompletion(req, req.status)
 	return idx, req.Status(), true, nil
 }
 
@@ -138,15 +132,10 @@ func (r *PersistentRequest) SetData(data []byte) error {
 }
 
 // activeIncomplete reports whether the last started instance has not yet
-// been consumed by a Wait/Test.
+// been consumed by a Wait/Test. consumed is owner-goroutine state, so no
+// lock is needed.
 func (r *PersistentRequest) activeIncomplete() bool {
-	if r.active == nil {
-		return false
-	}
-	w := r.proc.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return !r.active.consumed
+	return r.active != nil && !r.active.consumed
 }
 
 // Start issues one instance (MPI_Start). The returned request is completed

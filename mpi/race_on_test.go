@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// guards skip under it because instrumentation skews MemStats.
+const raceEnabled = true

@@ -1,10 +1,21 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Request is a nonblocking-operation handle, completed by the Wait/Test
 // family. Tools may stash per-request state in ToolData (e.g. DAMPI hangs
 // piggyback bookkeeping off it).
+//
+// Concurrency: `done` is the publication point. A completer writes data and
+// status first and stores done last (under the destination mailbox lock for
+// matched receives, so Cancel's posted-scan is atomic with delivery); the
+// owning rank observes done with an atomic load and may then read data/status
+// without further synchronization. `consumed` is owned by the rank's
+// goroutine and is read by the deadlock detector only while that rank is
+// parked under w.mu.
 type Request struct {
 	id   uint64
 	kind RequestKind
@@ -14,7 +25,7 @@ type Request struct {
 	tag  int // posted tag (may be AnyTag for receives)
 
 	data      []byte // payload: outgoing for sends, received for receives
-	done      bool
+	done      atomic.Bool
 	consumed  bool // a Wait/Test observed the completion
 	cancelled bool
 	status    Status
@@ -50,6 +61,21 @@ func (r *Request) ReplaceData(d []byte) {
 	r.status.Count = len(d)
 }
 
+// Release returns a consumed receive's payload buffer to the runtime's reuse
+// pool and clears Data. Call it only from the receiving rank, only after
+// Wait/Test consumed the completion, and only when nothing will touch the
+// payload again — including the sender (the buffer is shared with the
+// sender's request, so Release is for protocol traffic whose sender never
+// re-reads its payload, like piggyback clock messages). Non-receive or
+// unconsumed requests are left untouched.
+func (r *Request) Release() {
+	if r.kind != KindRecv || !r.consumed || r.data == nil {
+		return
+	}
+	putBuf(r.data)
+	r.data = nil
+}
+
 // Status returns the completion status; valid only after Wait/Test.
 func (r *Request) Status() Status { return r.status }
 
@@ -57,12 +83,14 @@ func (r *Request) String() string {
 	return fmt.Sprintf("Request(%s #%d peer=%d tag=%d %s)", r.kind, r.id, r.peer, r.tag, r.comm)
 }
 
-// completeRecvLocked fills in a receive request from a matched envelope.
-// Caller holds the world lock and is responsible for waking the owner.
-func (r *Request) completeRecvLocked(env *envelope) {
+// completeRecv fills in a receive request from a matched envelope. Caller
+// holds the destination mailbox lock and is responsible for waking the owner
+// after releasing it. The done store is last: it publishes data and status to
+// the owner's lock-free Wait/Test fast path.
+func (r *Request) completeRecv(env *envelope) {
 	r.data = env.data
 	r.status = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
-	r.done = true
+	r.done.Store(true)
 }
 
 // matchesEnv reports whether a posted receive can match an envelope under

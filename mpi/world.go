@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Config controls a World.
@@ -13,20 +14,45 @@ type Config struct {
 	// Hooks is the tool layer every MPI call flows through. Nil means no
 	// tool. Compose multiple tools with pnmpi.Stack.
 	Hooks *Hooks
+	// Hints pre-sizes runtime queues from a previous run's high-water marks
+	// (see World.Hints). Zero hints are always valid.
+	Hints SizeHints
+}
+
+// SizeHints carries observed queue high-water marks across runs so a replay
+// engine can pre-size the next world's allocations.
+type SizeHints struct {
+	// MailboxUnexpected is the deepest unexpected-message queue observed.
+	MailboxUnexpected int
+	// MailboxPosted is the deepest posted-receive queue observed.
+	MailboxPosted int
 }
 
 // World is one simulated MPI job. It owns the matching engine, the
 // communicators and the deadlock detector. A World is good for a single Run.
+//
+// Locking: message matching is sharded — each (comm, dst) mailbox has its own
+// lock, and the point-to-point fast paths (Isend/Irecv/Test/Iprobe and
+// uncontended Wait) never touch w.mu. The world lock serializes only the slow
+// paths that need global state: parking a rank, deadlock detection,
+// collective rendezvous and communicator create/free. Lock order is strictly
+// w.mu before mailbox.mu; a fast path holding a mailbox lock must release it
+// before waking a parked rank (wake takes w.mu).
 type World struct {
 	size  int
 	hooks *Hooks
+	hints SizeHints
+
+	nextReq atomic.Uint64
+	sendSeq atomic.Uint64 // global arrival order for envelopes (diagnostics)
+	failed  atomic.Bool   // fast mirror of failure != nil
+
+	worldComm *commInfo // comm 0, immutable after NewWorld
 
 	mu       sync.Mutex
 	procs    []*Proc
 	comms    map[int]*commInfo
 	nextComm int
-	nextReq  uint64
-	sendSeq  uint64 // global arrival order for envelopes
 
 	nblocked  int
 	nfinished int
@@ -41,13 +67,14 @@ func NewWorld(cfg Config) *World {
 	w := &World{
 		size:  cfg.Procs,
 		hooks: cfg.Hooks,
+		hints: cfg.Hints,
 		comms: make(map[int]*commInfo),
 	}
 	members := make([]int, w.size)
 	for i := range members {
 		members[i] = i
 	}
-	w.newCommLocked("world", members)
+	w.worldComm = w.newCommLocked("world", members)
 	w.procs = make([]*Proc, w.size)
 	for i := 0; i < w.size; i++ {
 		p := &Proc{world: w, rank: i}
@@ -60,6 +87,29 @@ func NewWorld(cfg Config) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// Hints returns the queue high-water marks observed so far, merged with the
+// hints the world was created with (so hints never shrink across a replay
+// sequence). Feed the result into the next run's Config.Hints.
+func (w *World) Hints() SizeHints {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h := w.hints
+	for _, ci := range w.comms {
+		for i := range ci.boxes {
+			mb := &ci.boxes[i]
+			mb.mu.Lock()
+			if mb.hiUnexpected > h.MailboxUnexpected {
+				h.MailboxUnexpected = mb.hiUnexpected
+			}
+			if mb.hiPosted > h.MailboxPosted {
+				h.MailboxPosted = mb.hiPosted
+			}
+			mb.mu.Unlock()
+		}
+	}
+	return h
+}
 
 // RankError pairs a rank with the error its program returned.
 type RankError struct {
@@ -179,10 +229,39 @@ func (w *World) finishRank(p *Proc) {
 	w.checkDeadlockLocked()
 }
 
-// block parks rank p until pred() holds or the world fails. desc describes
-// the call for deadlock reports. Must be called with w.mu held; returns with
-// w.mu held. Returns the sticky failure, if any.
-func (w *World) block(p *Proc, desc string, pred func() bool) error {
+// fastFailure returns the sticky failure without taking w.mu in the common
+// (healthy) case. Fast-path operations call it instead of reading w.failure.
+func (w *World) fastFailure() error {
+	if !w.failed.Load() {
+		return nil
+	}
+	w.mu.Lock()
+	err := w.failure
+	w.mu.Unlock()
+	return err
+}
+
+// wake wakes p if it may be parked. Fast-path completions call it after
+// releasing any mailbox lock — w.mu must never be acquired under one. The
+// parked flag makes the handoff race-free: a parking rank stores it (under
+// w.mu) before evaluating its predicate, and a waker publishes the completion
+// before loading it, so one side always sees the other.
+func (w *World) wake(p *Proc) {
+	if !p.parked.Load() {
+		return
+	}
+	w.mu.Lock()
+	p.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// block parks rank p until pred() holds or the world fails. desc lazily
+// describes the call for deadlock reports (built only if one fires). Must be
+// called with w.mu held; returns with w.mu held. Returns the sticky failure,
+// if any.
+func (w *World) block(p *Proc, desc func() string, pred func() bool) error {
+	p.parked.Store(true)
+	defer p.parked.Store(false)
 	for {
 		if w.failure != nil {
 			return w.failure
@@ -201,15 +280,17 @@ func (w *World) block(p *Proc, desc string, pred func() bool) error {
 			p.cond.Wait()
 		}
 		w.nblocked--
-		p.blockedAt = ""
+		p.blockedAt = nil
 		p.blockedPred = nil
 	}
 }
 
-// checkDeadlockLocked fires when every unfinished rank is blocked. All state
-// transitions happen under w.mu and every unblocking event is caused by some
-// running rank, so "everyone blocked" is a stable, precise deadlock
-// condition.
+// checkDeadlockLocked fires when every unfinished rank is blocked. A rank
+// inside a mailbox fast path is neither blocked nor finished, so the check
+// cannot race an in-flight delivery; predicates re-read live mailbox state
+// (taking the mailbox lock under w.mu — the sanctioned lock order), so
+// "everyone blocked with no satisfiable predicate" remains a stable, precise
+// deadlock condition under the sharded engine.
 func (w *World) checkDeadlockLocked() {
 	if w.failure != nil {
 		return
@@ -226,8 +307,8 @@ func (w *World) checkDeadlockLocked() {
 	}
 	blocked := make(map[int]string)
 	for _, p := range w.procs {
-		if !p.finished && p.blockedAt != "" {
-			blocked[p.rank] = p.blockedAt
+		if !p.finished && p.blockedAt != nil {
+			blocked[p.rank] = p.blockedAt()
 		}
 	}
 	w.failLocked(&DeadlockError{BlockedAt: blocked})
@@ -239,6 +320,7 @@ func (w *World) failLocked(err error) {
 		return
 	}
 	w.failure = err
+	w.failed.Store(true)
 	for _, p := range w.procs {
 		p.cond.Broadcast()
 	}
@@ -273,7 +355,7 @@ func (w *World) QuiescentRanks() []int {
 	defer w.mu.Unlock()
 	var out []int
 	for _, p := range w.procs {
-		if p.blockedAt != "" && p.blockedPred != nil && !p.blockedPred() {
+		if p.blockedPred != nil && !p.blockedPred() {
 			out = append(out, p.rank)
 		}
 	}
@@ -288,7 +370,7 @@ func (w *World) BlockedRanks() []int {
 	defer w.mu.Unlock()
 	var out []int
 	for _, p := range w.procs {
-		if p.blockedAt != "" {
+		if p.blockedPred != nil {
 			out = append(out, p.rank)
 		}
 	}
