@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dampi/mpi"
+	"dampi/verify"
+)
+
+// TestFooterFormats: the footer prints the trailing-window rate only when it
+// was actually measured; without a baseline it falls back to the mean-only
+// form instead of echoing the mean twice.
+func TestFooterFormats(t *testing.T) {
+	withWindow := footer(120, 2*time.Second, 45.5, true)
+	if !strings.Contains(withWindow, "120 interleavings") ||
+		!strings.Contains(withWindow, "60.0 interleavings/sec mean") ||
+		!strings.Contains(withWindow, "45.5/sec trailing window") {
+		t.Errorf("windowed footer malformed: %q", withWindow)
+	}
+
+	fallback := footer(5, 500*time.Millisecond, 10.0, false)
+	if strings.Contains(fallback, "trailing window") || strings.Contains(fallback, "mean") {
+		t.Errorf("fallback footer claims a window measurement: %q", fallback)
+	}
+	if !strings.Contains(fallback, "5 interleavings in 500ms (10.0 interleavings/sec)") {
+		t.Errorf("fallback footer malformed: %q", fallback)
+	}
+
+	if got := footer(0, 0, 0, false); !strings.Contains(got, "0 interleavings") {
+		t.Errorf("zero-duration footer malformed: %q", got)
+	}
+}
+
+// slowRacy is racyProgram with enough per-run latency that a short
+// exploration still spans several progress ticks.
+func slowRacy(p *mpi.Proc) error {
+	c := p.CommWorld()
+	switch p.Rank() {
+	case 0:
+		return p.Send(1, 0, mpi.EncodeInt64(1), c)
+	case 2:
+		return p.Send(1, 0, mpi.EncodeInt64(2), c)
+	case 1:
+		if _, _, err := p.Recv(mpi.AnySource, 0, c); err != nil {
+			return err
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	return nil
+}
+
+// TestFooterWindowFallbackEndToEnd drives the real parallel engine the way
+// main does — capture (WindowPerSecond, WindowValid) from OnProgress, render
+// the footer from the last sample — and checks the sub-second contract: the
+// first progress tick has no window baseline (WindowValid false, footer
+// falls back to mean-only), later ticks have one and surface the window.
+func TestFooterWindowFallbackEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []verify.Progress
+	res, err := verify.Run(verify.Config{
+		Procs:         3,
+		Workers:       2,
+		ProgressEvery: time.Millisecond,
+		OnProgress: func(p verify.Progress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		},
+	}, slowRacy)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress ticks; fixture too fast for ProgressEvery")
+	}
+
+	first := snaps[0]
+	if first.WindowValid {
+		t.Errorf("first tick claims a window measurement: %+v", first)
+	}
+	if line := footer(res.Interleavings, 500*time.Millisecond, first.WindowPerSecond, first.WindowValid); strings.Contains(line, "trailing window") {
+		t.Errorf("sub-second footer shows an unmeasured window: %q", line)
+	}
+
+	if len(snaps) > 1 {
+		last := snaps[len(snaps)-1]
+		if !last.WindowValid {
+			t.Errorf("late tick still has no baseline: %+v", last)
+		}
+		if line := footer(res.Interleavings, time.Second, last.WindowPerSecond, last.WindowValid); !strings.Contains(line, "trailing window") {
+			t.Errorf("measured window missing from footer: %q", line)
+		}
+	}
+}

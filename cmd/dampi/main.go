@@ -10,6 +10,14 @@
 //	dampi -workload 104.milc -procs 64 -leaks
 //	dampi -workload matmul -procs 4 -baseline isp
 //	dampi -lint ./workloads/... -workload adlb -procs 8
+//	dampi -serve :9477 -status :9478 -workload matmul -procs 6 -k 1
+//	dampi -join host:9477 -workload matmul -procs 6 -k 1 -slots 4
+//
+// The -serve mode runs the distributed coordinator: it owns the exploration
+// frontier and merges worker results into the same report a local run would
+// print. Workers join with `dampid -join` (or `dampi -join`), passing the
+// same workload and exploration flags — the handshake rejects any mismatch.
+// SIGTERM drains gracefully on both sides.
 //
 // Erroneous interleavings are printed with their epoch-decisions reproducer;
 // pass -decisions FILE to save the first reproducer as a JSON decisions
@@ -60,6 +68,12 @@ func main() {
 		scale      = flag.Int("scale", 100, "traffic divisor for proxy workloads")
 		iters      = flag.Int("iters", 4, "outer iterations for proxy workloads")
 		workers    = flag.Int("workers", 0, "parallel replay workers (0 = serial explorer)")
+		serve      = flag.String("serve", "", "run as distributed coordinator listening on ADDR (host:port)")
+		join       = flag.String("join", "", "join the distributed coordinator at ADDR as a replay worker")
+		statusAddr = flag.String("status", "", "serve /status and /metrics over HTTP on ADDR (with -serve)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "distributed task lease TTL (0 = default 10s; with -serve)")
+		slots      = flag.Int("slots", 1, "concurrent replay slots (with -join)")
+		workerName = flag.String("worker-name", "", "worker name in coordinator status (with -join; default host:pid)")
 		ckpFile    = flag.String("checkpoint", "", "frontier checkpoint FILE (parallel engine)")
 		ckpEvery   = flag.Int("checkpoint-every", 0, "replays between checkpoint writes (0 = default)")
 		resume     = flag.Bool("resume", false, "resume exploration from -checkpoint")
@@ -185,8 +199,11 @@ func main() {
 	if *resume && *ckpFile == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
-	if *resume && *workers < 1 {
-		fatal(fmt.Errorf("-resume requires -workers >= 1"))
+	if *resume && *workers < 1 && *serve == "" {
+		fatal(fmt.Errorf("-resume requires -workers >= 1 (or -serve)"))
+	}
+	if *serve != "" && *join != "" {
+		fatal(fmt.Errorf("-serve and -join are mutually exclusive"))
 	}
 
 	cfg := verify.Config{
@@ -205,6 +222,30 @@ func main() {
 		CheckpointEvery:   *ckpEvery,
 		Resume:            *resume,
 	}
+
+	if *serve != "" || *join != "" {
+		ccfg := verify.ClusterConfig{
+			Config:     cfg,
+			Workload:   wl.Name,
+			LeaseTTL:   *leaseTTL,
+			Slots:      *slots,
+			WorkerName: *workerName,
+		}
+		if *serve != "" {
+			if *stats {
+				fatal(fmt.Errorf("-stats is unsupported with -serve (replays happen on the workers)"))
+			}
+			// Leak checks instrument the canonical run, which happens on a
+			// worker; the coordinator never replays.
+			ccfg.CheckLeaks = false
+			ccfg.Workers = 0
+			ccfg.Addr = *serve
+			serveCluster(ccfg, *statusAddr, *verbose)
+		}
+		ccfg.Addr = *join
+		joinCluster(ccfg, prog)
+	}
+
 	if *verbose {
 		cfg.OnInterleaving = func(res *verify.InterleavingResult) {
 			fmt.Printf("  %v\n", res)
@@ -212,12 +253,14 @@ func main() {
 	}
 	// Track the trailing-window throughput for the footer (and the verbose
 	// progress line). The progress monitor goroutine is joined before Run
-	// returns, so reading lastWindow afterwards is race-free.
-	lastWindow := -1.0
+	// returns, so reading lastWindow afterwards is race-free. lastOK stays
+	// false on serial runs (no monitor) and on runs too short for the window
+	// tracker to accumulate a baseline, and the footer then omits the window.
+	lastWindow, lastOK := 0.0, false
 	if *workers > 0 {
 		printProgress := *verbose
 		cfg.OnProgress = func(p verify.Progress) {
-			lastWindow = p.WindowPerSecond
+			lastWindow, lastOK = p.WindowPerSecond, p.WindowValid
 			if printProgress {
 				fmt.Printf("  progress: %d interleavings (%.1f/sec window, %.1f/sec mean) frontier=%d busy=%d\n",
 					p.Interleavings, p.WindowPerSecond, p.PerSecond, p.FrontierDepth, p.Busy)
@@ -232,10 +275,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("DAMPI: %s\n", res.Summary())
-	for _, u := range res.Unsafe {
-		fmt.Printf("  warning: %v\n", u)
-	}
+	printReportHead(res)
 	if res.Leaks != nil {
 		for _, l := range res.Leaks.CommLeaks {
 			fmt.Printf("  C-leak: %s\n", l)
@@ -257,10 +297,7 @@ func main() {
 		fmt.Printf("  ops: %v (per proc: all=%d sendrecv=%d coll=%d wait=%d)\n",
 			t, t.AllPerProc(), t.SendRecvPerProc(), t.CollPerProc(), t.WaitPerProc())
 	}
-	for _, e := range res.Errors {
-		fmt.Printf("  error in interleaving #%d: %v\n", e.Index, e.Err)
-		fmt.Printf("    reproducer: %v\n", e.Decisions)
-	}
+	printReportErrors(res)
 	if *traceFile != "" && res.FirstTrace != nil {
 		if err := res.FirstTrace.Save(*traceFile); err != nil {
 			fatal(err)
@@ -273,17 +310,7 @@ func main() {
 		}
 		fmt.Printf("  reproducer saved to %s\n", *decFile)
 	}
-	rate := 0.0
-	if s := elapsed.Seconds(); s > 0 {
-		rate = float64(res.Interleavings) / s
-	}
-	if lastWindow >= 0 {
-		fmt.Printf("explored %d interleavings in %v (%.1f interleavings/sec mean, %.1f/sec trailing window)\n",
-			res.Interleavings, elapsed.Round(time.Millisecond), rate, lastWindow)
-	} else {
-		fmt.Printf("explored %d interleavings in %v (%.1f interleavings/sec)\n",
-			res.Interleavings, elapsed.Round(time.Millisecond), rate)
-	}
+	fmt.Println(footer(res.Interleavings, elapsed, lastWindow, lastOK))
 	if res.Errored() {
 		exit(1)
 	}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dampi/verify"
+)
+
+// printReportHead prints the one-line coverage summary and the §V unsafe
+// pattern warnings. Shared by local runs and the distributed coordinator so
+// the two modes render identical reports.
+func printReportHead(res *verify.Result) {
+	fmt.Printf("DAMPI: %s\n", res.Summary())
+	for _, u := range res.Unsafe {
+		fmt.Printf("  warning: %v\n", u)
+	}
+}
+
+// printReportErrors prints each failing interleaving with its epoch-decisions
+// reproducer.
+func printReportErrors(res *verify.Result) {
+	for _, e := range res.Errors {
+		fmt.Printf("  error in interleaving #%d: %v\n", e.Index, e.Err)
+		fmt.Printf("    reproducer: %v\n", e.Decisions)
+	}
+}
+
+// footer renders the closing throughput line. windowOK reports whether the
+// trailing-window rate was ever actually measured: on sub-second runs (and
+// serial runs, which have no progress monitor) the window tracker has no
+// baseline sample, so the line falls back to the mean-only form instead of
+// presenting an echo of the mean as a window measurement.
+func footer(interleavings int, elapsed time.Duration, window float64, windowOK bool) string {
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(interleavings) / s
+	}
+	if windowOK {
+		return fmt.Sprintf("explored %d interleavings in %v (%.1f interleavings/sec mean, %.1f/sec trailing window)",
+			interleavings, elapsed.Round(time.Millisecond), rate, window)
+	}
+	return fmt.Sprintf("explored %d interleavings in %v (%.1f interleavings/sec)",
+		interleavings, elapsed.Round(time.Millisecond), rate)
+}

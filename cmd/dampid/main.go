@@ -1,0 +1,115 @@
+// Command dampid is the distributed-exploration worker daemon: it joins a
+// coordinator started with `dampi -serve`, replays leased subtree tasks of
+// the named workload, and streams results back until the exploration is
+// done.
+//
+// Usage:
+//
+//	dampid -join host:9477 -workload matmul -procs 6 -k 1
+//	dampid -join host:9477 -workload adlb -procs 12 -k 0 -slots 8
+//
+// Every exploration flag (-procs, -k, -clock, -dual, -transport, -autoloop)
+// must match the coordinator's: the join handshake rejects any mismatch,
+// because a worker replaying a different program or interleaving space would
+// silently corrupt the merged report. Workload parameters (-scale, -iters)
+// shape the program itself and must likewise be identical on every node.
+//
+// SIGTERM (and SIGINT) drain gracefully: in-flight replays finish and
+// deliver their results before the worker exits. If the coordinator
+// disappears, the worker reconnects with exponential backoff and gives up
+// after repeated failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dampi/verify"
+	"dampi/workloads"
+)
+
+func main() {
+	var (
+		join       = flag.String("join", "", "coordinator address (host:port); required")
+		name       = flag.String("workload", "", "workload to replay (must match the coordinator)")
+		procs      = flag.Int("procs", 4, "number of MPI ranks (must match the coordinator)")
+		k          = flag.Int("k", verify.Unbounded, "bounded-mixing k (-1 = full coverage; must match)")
+		clock      = flag.String("clock", "lamport", "clock mode: lamport or vector (must match)")
+		dual       = flag.Bool("dual", false, "dual-Lamport-clock §V extension (must match)")
+		transport  = flag.String("transport", "separate", "piggyback mechanism: separate or inband (must match)")
+		autoloop   = flag.Int("autoloop", 0, "auto loop detection threshold (must match)")
+		scale      = flag.Int("scale", 100, "traffic divisor for proxy workloads (must match)")
+		iters      = flag.Int("iters", 4, "outer iterations for proxy workloads (must match)")
+		slots      = flag.Int("slots", 1, "concurrent replay slots")
+		workerName = flag.String("name", "", "worker name in coordinator status (default host:pid)")
+	)
+	flag.Parse()
+
+	if *join == "" || *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	wl, err := workloads.Get(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *procs < wl.MinProcs {
+		fatal(fmt.Errorf("%s needs at least %d procs", wl.Name, wl.MinProcs))
+	}
+	prog := wl.Program(workloads.Params{Procs: *procs, Scale: *scale, Iters: *iters})
+
+	cm := verify.Lamport
+	if *clock == "vector" {
+		cm = verify.VectorClock
+	} else if *clock != "lamport" {
+		fatal(fmt.Errorf("unknown clock mode %q", *clock))
+	}
+	tp := verify.Separate
+	if *transport == "inband" {
+		tp = verify.Inband
+	} else if *transport != "separate" {
+		fatal(fmt.Errorf("unknown transport %q", *transport))
+	}
+
+	cfg := verify.ClusterConfig{
+		Config: verify.Config{
+			Procs:             *procs,
+			Clock:             cm,
+			DualClock:         *dual,
+			Transport:         tp,
+			AutoLoopThreshold: *autoloop,
+			MixingBound:       *k,
+		},
+		Workload:   wl.Name,
+		Addr:       *join,
+		Slots:      *slots,
+		WorkerName: *workerName,
+		OnEvent:    func(line string) { fmt.Println(line) },
+	}
+	w, err := verify.Join(cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		signal.Stop(sig) // a second signal kills outright
+		fmt.Fprintf(os.Stderr, "dampid: %v: draining (in-flight replays will finish)\n", s)
+		w.Stop()
+	}()
+
+	if err := w.Run(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dampid: %v\n", err)
+	os.Exit(1)
+}

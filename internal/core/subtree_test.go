@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"testing"
 )
 
@@ -145,5 +146,61 @@ func TestExpandAutoLoopDetection(t *testing.T) {
 	}
 	if len(ex.Children) != 2 {
 		t.Errorf("children = %d, want 2 (only the first two repetitions flip)", len(ex.Children))
+	}
+}
+
+// TestSubtreeTaskJSONRoundTrip: a task with a non-empty decision prefix and
+// live expansion state survives the JSON codec — the wire form used by both
+// checkpoint frontiers and the distributed coordinator's task frames.
+func TestSubtreeTaskJSONRoundTrip(t *testing.T) {
+	d := NewDecisions()
+	d.Force(EpochID{Rank: 0, LC: 2}, 1)
+	d.Force(EpochID{Rank: 1, LC: 5}, 3)
+	d.Force(EpochID{Rank: 2, LC: 1}, 0)
+	cases := []*SubtreeTask{
+		{Decisions: d, Budget: 2, Explorable: true},
+		{Decisions: d, Budget: 0, Explorable: true},
+		{Decisions: d, Budget: Unbounded, Explorable: true},
+		{Decisions: d, Budget: Unbounded, Explorable: false},
+	}
+	for _, in := range cases {
+		body, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", in, err)
+		}
+		out := &SubtreeTask{}
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("unmarshal %s: %v", body, err)
+		}
+		if out.Budget != in.Budget || out.Explorable != in.Explorable {
+			t.Errorf("expansion state changed: %+v -> %+v", in, out)
+		}
+		if out.Decisions.String() != in.Decisions.String() {
+			t.Errorf("decision prefix changed: %s -> %s", in.Decisions, out.Decisions)
+		}
+		if got, ok := out.Decisions.Lookup(1, 5); !ok || got != 3 {
+			t.Errorf("forced source for rank1/lc5 = (%d, %v), want (3, true)", got, ok)
+		}
+	}
+}
+
+// TestSubtreeTaskJSONRootNil: the root task's nil prefix round-trips as
+// JSON null and stays nil — the coordinator identifies the root task by
+// exactly this property.
+func TestSubtreeTaskJSONRootNil(t *testing.T) {
+	root := RootTask(&ExplorerConfig{Procs: 4, MixingBound: 2})
+	body, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &SubtreeTask{}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions != nil {
+		t.Errorf("root prefix is %v after round trip, want nil", out.Decisions)
+	}
+	if out.Budget != 2 || !out.Explorable {
+		t.Errorf("root expansion state changed: %+v", out)
 	}
 }

@@ -1,0 +1,768 @@
+package dcoord
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dampi/internal/core"
+	"dampi/internal/dexplore"
+)
+
+// Config configures a coordinator. The coordinator never replays anything
+// itself — it owns the frontier, the leases and the merged report — so it
+// needs no program, only the fingerprint workers must match.
+type Config struct {
+	// Fingerprint is the exploration identity every joining worker must
+	// match exactly.
+	Fingerprint Fingerprint
+	// MaxInterleavings caps the number of distinct subtrees explored
+	// (0 = unlimited), like core.ExplorerConfig.MaxInterleavings.
+	MaxInterleavings int
+	// StopOnFirstError stops issuing new tasks once a failing interleaving
+	// is reported; in-flight leases drain and are counted.
+	StopOnFirstError bool
+	// LeaseTTL is how long a lease survives without a heartbeat before its
+	// task is requeued. Default 10s.
+	LeaseTTL time.Duration
+	// MaxLeaseAge is the hard per-lease deadline: even a heartbeating worker
+	// forfeits a lease this old (a hung replay keeps the connection's
+	// heartbeats flowing, so TTL alone cannot catch it). Default 30×LeaseTTL.
+	MaxLeaseAge time.Duration
+	// MaxRedeliveries caps how many times one task may be requeued after
+	// lease loss before the exploration aborts (a poison task must not loop
+	// forever). Default 3.
+	MaxRedeliveries int
+	// CheckpointPath, if non-empty, receives a frontier checkpoint (the
+	// dexplore.Checkpoint format) every CheckpointEvery completions and at
+	// the end, so a killed coordinator resumes with Resume.
+	CheckpointPath string
+	// CheckpointEvery is the completions between periodic checkpoint writes.
+	// Default 32.
+	CheckpointEvery int
+	// Resume, if non-nil, seeds the exploration from a saved checkpoint
+	// instead of leasing the initial self-discovery run. Validated against
+	// Fingerprint.
+	Resume *dexplore.Checkpoint
+	// OnProgress, if non-nil, receives a throughput snapshot every
+	// ProgressEvery (default 1s) while the exploration runs.
+	OnProgress func(dexplore.Progress)
+	// ProgressEvery is the progress-callback period.
+	ProgressEvery time.Duration
+}
+
+// lease is one outstanding task assignment.
+type lease struct {
+	id      uint64
+	task    *core.SubtreeTask
+	key     string
+	conn    *workerConn
+	granted time.Time
+	expires time.Time
+}
+
+// workerConn is one connected worker session.
+type workerConn struct {
+	conn  net.Conn
+	name  string
+	slots int
+	since time.Time
+
+	wmu sync.Mutex // serializes frame writes (results race heartbeats)
+
+	// guarded by Coordinator.mu
+	active    int // leases currently held
+	completed int // results merged from this session
+	gone      bool
+}
+
+// send writes one frame under the connection's write lock with a deadline,
+// so a stalled worker cannot wedge the coordinator.
+func (w *workerConn) send(fr *frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	return writeFrame(w.conn, fr)
+}
+
+// Coordinator owns a distributed exploration: it serves the wire protocol,
+// leases subtree tasks to workers, merges their results, and terminates when
+// the frontier and all leases drain.
+type Coordinator struct {
+	cfg Config
+
+	mu           sync.Mutex
+	ln           net.Listener
+	workers      map[*workerConn]struct{}
+	frontier     []*core.SubtreeTask // LIFO stack of pending tasks
+	leases       map[uint64]*lease
+	nextLease    uint64
+	done         map[string]bool // completed task keys (dedup after requeue)
+	redelivered  map[string]int  // requeue count per task key
+	requeues     int             // total lease requeues
+	report       *core.Report
+	rootDone     bool
+	stopped      bool // drain: no new leases (Stop or StopOnFirstError)
+	finished     bool
+	runErr       error
+	sinceCkp     int
+	start        time.Time
+	rate         *dexplore.RateTracker
+	doneCh       chan struct{}
+	janitorStop  chan struct{}
+	monitorStop  chan struct{}
+	monitorWG    sync.WaitGroup
+}
+
+// New creates a coordinator. It validates Resume against the fingerprint and
+// seeds either the checkpointed frontier or the root self-discovery task.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Fingerprint.Procs < 1 {
+		return nil, fmt.Errorf("dcoord: Fingerprint.Procs must be >= 1")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.MaxLeaseAge <= 0 {
+		cfg.MaxLeaseAge = 30 * cfg.LeaseTTL
+	}
+	if cfg.MaxRedeliveries <= 0 {
+		cfg.MaxRedeliveries = 3
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 32
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = time.Second
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		workers:     make(map[*workerConn]struct{}),
+		leases:      make(map[uint64]*lease),
+		done:        make(map[string]bool),
+		redelivered: make(map[string]int),
+		report:      &core.Report{},
+		rate:        dexplore.NewRateTracker(dexplore.RateWindow),
+		doneCh:      make(chan struct{}),
+		janitorStop: make(chan struct{}),
+		monitorStop: make(chan struct{}),
+		start:       time.Now(),
+	}
+	if ckp := cfg.Resume; ckp != nil {
+		ecfg := fingerprintExplorerConfig(cfg.Fingerprint)
+		if err := ckp.Validate(cfg.Fingerprint.Workload, &ecfg); err != nil {
+			return nil, err
+		}
+		c.seedFromCheckpoint(ckp)
+	} else {
+		ecfg := fingerprintExplorerConfig(cfg.Fingerprint)
+		c.frontier = append(c.frontier, core.RootTask(&ecfg))
+	}
+	return c, nil
+}
+
+// fingerprintExplorerConfig projects a fingerprint onto the ExplorerConfig
+// fields checkpoint validation and RootTask consult.
+func fingerprintExplorerConfig(f Fingerprint) core.ExplorerConfig {
+	return core.ExplorerConfig{
+		Procs:             f.Procs,
+		Clock:             f.Clock,
+		DualClock:         f.DualClock,
+		Transport:         f.Transport,
+		MixingBound:       f.MixingBound,
+		AutoLoopThreshold: f.AutoLoopThreshold,
+	}
+}
+
+// seedFromCheckpoint restores aggregates and frontier. The checkpoint's
+// frontier may still contain the root task (a drain before the root
+// completed); rootDone is derived from whether a self-discovery task remains.
+func (c *Coordinator) seedFromCheckpoint(ckp *dexplore.Checkpoint) {
+	c.report.Interleavings = ckp.Interleavings
+	c.report.Deadlocks = ckp.Deadlocks
+	c.report.DecisionPoints = ckp.DecisionPoints
+	c.report.AutoAbstracted = ckp.AutoAbstracted
+	c.report.WildcardsAnalyzed = ckp.WildcardsAnalyzed
+	c.report.Unsafe = ckp.Unsafe
+	c.report.FirstTrace = ckp.FirstTrace
+	for _, ce := range ckp.Errors {
+		c.report.Errors = append(c.report.Errors, &core.InterleavingResult{
+			Err:       errors.New(ce.Message),
+			Deadlock:  ce.Deadlock,
+			Decisions: ce.Decisions,
+		})
+	}
+	c.frontier = append(c.frontier, ckp.Frontier...)
+	c.rootDone = true
+	for _, t := range c.frontier {
+		if t.Decisions == nil {
+			c.rootDone = false
+		}
+	}
+}
+
+// Serve starts accepting workers on ln and runs the lease janitor (and the
+// progress monitor when configured). It returns immediately; use Wait for
+// the result. The coordinator owns ln and closes it when the exploration
+// ends.
+func (c *Coordinator) Serve(ln net.Listener) {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	go c.acceptLoop(ln)
+	go c.janitor()
+	if c.cfg.OnProgress != nil {
+		c.monitorWG.Add(1)
+		go c.monitor()
+	}
+	// A resumed-but-already-complete checkpoint (or an immediate Stop) must
+	// not wait for a worker that will never be needed.
+	c.mu.Lock()
+	fin := c.finishable()
+	c.mu.Unlock()
+	if fin {
+		c.finalize()
+	}
+}
+
+// ListenAndServe listens on addr and Serves. It returns the bound listener
+// (for its address) or an error.
+func (c *Coordinator) ListenAndServe(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.Serve(ln)
+	return ln, nil
+}
+
+// Wait blocks until the exploration ends and returns the merged report (or
+// the first fatal error).
+func (c *Coordinator) Wait() (*core.Report, error) {
+	<-c.doneCh
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.runErr != nil {
+		return nil, c.runErr
+	}
+	return c.report, nil
+}
+
+// Stop drains gracefully: no new leases are issued, in-flight replays finish
+// and are merged, a final checkpoint preserves the remaining frontier, and
+// Wait returns the partial report. Safe to call from any goroutine (the
+// SIGTERM path).
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	fin := c.finishable()
+	c.mu.Unlock()
+	if fin {
+		c.finalize()
+	}
+}
+
+// acceptLoop admits workers until the listener closes.
+func (c *Coordinator) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn performs the handshake and then runs the worker's read loop.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	fr, err := readFrame(conn)
+	if err != nil || fr.Type != msgHello {
+		conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	w := &workerConn{conn: conn, name: fr.Worker, slots: fr.Slots, since: time.Now()}
+	if w.name == "" {
+		w.name = conn.RemoteAddr().String()
+	}
+	if w.slots < 1 {
+		w.slots = 1
+	}
+	if fr.Proto != protoVersion {
+		_ = w.send(&frame{Type: msgReject, Reason: fmt.Sprintf("dcoord: protocol version %d, coordinator speaks %d", fr.Proto, protoVersion)})
+		conn.Close()
+		return
+	}
+	if fr.Fingerprint == nil {
+		_ = w.send(&frame{Type: msgReject, Reason: "dcoord: hello without fingerprint"})
+		conn.Close()
+		return
+	}
+	if err := c.cfg.Fingerprint.Check(*fr.Fingerprint); err != nil {
+		_ = w.send(&frame{Type: msgReject, Reason: err.Error()})
+		conn.Close()
+		return
+	}
+
+	c.mu.Lock()
+	finished := c.finished
+	if !finished {
+		c.workers[w] = struct{}{}
+	}
+	c.mu.Unlock()
+	if finished {
+		_ = w.send(&frame{Type: msgDone})
+		conn.Close()
+		return
+	}
+	if err := w.send(&frame{Type: msgWelcome, LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds()}); err != nil {
+		c.dropWorker(w)
+		return
+	}
+	c.dispatch()
+
+	for {
+		fr, err := readFrame(conn)
+		if err != nil {
+			c.dropWorker(w)
+			return
+		}
+		switch fr.Type {
+		case msgHeartbeat:
+			c.renewLeases(w)
+		case msgResult:
+			if fr.Result != nil {
+				c.handleResult(w, fr.Result)
+			}
+		default:
+			// Unknown frame from a matching-version worker: ignore.
+		}
+	}
+}
+
+// dropWorker unregisters a disconnected (or write-failed) worker and
+// requeues every lease it held.
+func (c *Coordinator) dropWorker(w *workerConn) {
+	c.mu.Lock()
+	if w.gone {
+		c.mu.Unlock()
+		return
+	}
+	w.gone = true
+	delete(c.workers, w)
+	var failed error
+	for id, l := range c.leases {
+		if l.conn == w {
+			delete(c.leases, id)
+			if err := c.requeueLocked(l); err != nil && failed == nil {
+				failed = err
+			}
+		}
+	}
+	if failed != nil {
+		c.failLocked(failed)
+	}
+	fin := c.finishable()
+	c.mu.Unlock()
+	w.conn.Close()
+	if fin {
+		c.finalize()
+		return
+	}
+	c.dispatch()
+}
+
+// requeueLocked returns a lost lease's task to the frontier, enforcing the
+// redelivery cap. Caller holds c.mu and has already removed the lease.
+func (c *Coordinator) requeueLocked(l *lease) error {
+	l.conn.active--
+	if c.done[l.key] {
+		return nil // a competing delivery already completed it
+	}
+	c.requeues++
+	c.redelivered[l.key]++
+	if n := c.redelivered[l.key]; n > c.cfg.MaxRedeliveries {
+		return fmt.Errorf("dcoord: task %s lost its lease %d times (redelivery cap %d): poison task or cluster too unstable",
+			l.key, n, c.cfg.MaxRedeliveries)
+	}
+	if !c.stopped {
+		c.frontier = append(c.frontier, l.task)
+		return nil
+	}
+	// Draining: keep the task for the final checkpoint, but do not reissue.
+	c.frontier = append(c.frontier, l.task)
+	return nil
+}
+
+// renewLeases extends every lease held by w (heartbeat arrival).
+func (c *Coordinator) renewLeases(w *workerConn) {
+	now := time.Now()
+	c.mu.Lock()
+	for _, l := range c.leases {
+		if l.conn == w {
+			l.expires = now.Add(c.cfg.LeaseTTL)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// dispatch hands frontier tasks to workers with free slots. Frame writes
+// happen outside c.mu; a failed write drops the worker (which requeues).
+func (c *Coordinator) dispatch() {
+	type send struct {
+		w  *workerConn
+		fr *frame
+	}
+	var sends []send
+	now := time.Now()
+	c.mu.Lock()
+	if !c.stopped && c.runErr == nil && !c.finished {
+		for w := range c.workers {
+			for w.active < w.slots {
+				if max := c.cfg.MaxInterleavings; max > 0 && c.report.Interleavings+len(c.leases) >= max {
+					break
+				}
+				t := c.popLiveLocked()
+				if t == nil {
+					break
+				}
+				c.nextLease++
+				l := &lease{
+					id:      c.nextLease,
+					task:    t,
+					key:     taskKey(t),
+					conn:    w,
+					granted: now,
+					expires: now.Add(c.cfg.LeaseTTL),
+				}
+				c.leases[l.id] = l
+				w.active++
+				sends = append(sends, send{w: w, fr: &frame{
+					Type:  msgTask,
+					Lease: l.id,
+					Task:  t,
+					Root:  t.Decisions == nil,
+				}})
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range sends {
+		if err := s.w.send(s.fr); err != nil {
+			c.dropWorker(s.w)
+		}
+	}
+}
+
+// popLiveLocked pops the deepest pending task whose subtree has not already
+// been completed (a requeued copy may have been raced by a late delivery).
+// Caller holds c.mu.
+func (c *Coordinator) popLiveLocked() *core.SubtreeTask {
+	for n := len(c.frontier); n > 0; n = len(c.frontier) {
+		t := c.frontier[n-1]
+		c.frontier = c.frontier[:n-1]
+		if !c.done[taskKey(t)] {
+			return t
+		}
+	}
+	return nil
+}
+
+// handleResult merges one completed replay: dedup by task key, fold the
+// outcome and expansion into the report and frontier, trigger cancellation,
+// checkpoints, and completion.
+func (c *Coordinator) handleResult(w *workerConn, res *WireResult) {
+	c.mu.Lock()
+	if l, ok := c.leases[res.Lease]; ok && l.conn == w {
+		delete(c.leases, res.Lease)
+		w.active--
+	}
+	if res.Fatal != "" {
+		c.failLocked(fmt.Errorf("dcoord: worker %s: %s", w.name, res.Fatal))
+		fin := c.finishable()
+		c.mu.Unlock()
+		if fin {
+			c.finalize()
+		}
+		return
+	}
+	if c.finished || c.done[res.Key] {
+		// Late duplicate of a requeued-and-completed task: at-least-once
+		// delivery, effectively-once merge.
+		fin := c.finishable()
+		c.mu.Unlock()
+		if fin {
+			c.finalize()
+			return
+		}
+		c.dispatch()
+		return
+	}
+	c.done[res.Key] = true
+	w.completed++
+
+	ir := &core.InterleavingResult{
+		Index:      c.report.Interleavings,
+		Decisions:  res.Decisions,
+		Deadlock:   res.Deadlock,
+		Mismatches: res.Mismatches,
+		Epochs:     res.Epochs,
+	}
+	if res.ErrMsg != "" {
+		ir.Err = errors.New(res.ErrMsg)
+	}
+	c.report.Interleavings++
+	if ir.Err != nil {
+		c.report.Errors = append(c.report.Errors, ir)
+	}
+	if ir.Deadlock {
+		c.report.Deadlocks++
+	}
+	c.report.DecisionPoints += res.DecisionPoints
+	c.report.AutoAbstracted += res.AutoAbstracted
+	c.frontier = append(c.frontier, res.Children...)
+	if res.Root != nil {
+		c.report.WildcardsAnalyzed = res.Root.WildcardsAnalyzed
+		c.report.Unsafe = res.Root.Unsafe
+		c.report.FirstTrace = res.Root.FirstTrace
+		c.rootDone = true
+	}
+	if c.cfg.StopOnFirstError && ir.Err != nil {
+		c.stopped = true
+	}
+	c.sinceCkp++
+	var ckp *dexplore.Checkpoint
+	if c.cfg.CheckpointPath != "" && c.sinceCkp >= c.cfg.CheckpointEvery {
+		c.sinceCkp = 0
+		ckp = c.checkpointLocked()
+	}
+	fin := c.finishable()
+	c.mu.Unlock()
+
+	if ckp != nil {
+		// Best-effort: a failed periodic write must not kill the search.
+		_ = ckp.Save(c.cfg.CheckpointPath)
+	}
+	if fin {
+		c.finalize()
+		return
+	}
+	c.dispatch()
+}
+
+// failLocked records the first fatal error and stops issuing. Caller holds
+// c.mu.
+func (c *Coordinator) failLocked(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+	c.stopped = true
+}
+
+// finishable reports whether the exploration is over: nothing leased, and
+// either drained/errored or no live work remains (and the root ran, so an
+// empty frontier means exhaustion rather than not-started). Caller holds
+// c.mu.
+func (c *Coordinator) finishable() bool {
+	if c.finished || len(c.leases) > 0 {
+		return false
+	}
+	if c.stopped || c.runErr != nil {
+		return true
+	}
+	if !c.rootDone {
+		return false
+	}
+	if max := c.cfg.MaxInterleavings; max > 0 && c.report.Interleavings >= max {
+		return true
+	}
+	return c.liveFrontierLocked() == 0
+}
+
+// liveFrontierLocked counts pending tasks not already completed by a
+// competing delivery. Caller holds c.mu; only called when no leases are
+// outstanding, so the O(n) scan is off the hot path.
+func (c *Coordinator) liveFrontierLocked() int {
+	n := 0
+	for _, t := range c.frontier {
+		if !c.done[taskKey(t)] {
+			n++
+		}
+	}
+	return n
+}
+
+// finalize ends the exploration exactly once: terminal report state (cap
+// flag, deterministic error order), final checkpoint, done-frames to every
+// worker, listener close, and the Wait release.
+func (c *Coordinator) finalize() {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return
+	}
+	c.finished = true
+	if max := c.cfg.MaxInterleavings; max > 0 && c.report.Interleavings >= max && c.liveFrontierLocked() > 0 {
+		c.report.Capped = true
+	}
+	sort.SliceStable(c.report.Errors, func(i, j int) bool {
+		return c.report.Errors[i].Decisions.String() < c.report.Errors[j].Decisions.String()
+	})
+	var ckp *dexplore.Checkpoint
+	if c.cfg.CheckpointPath != "" {
+		ckp = c.checkpointLocked()
+	}
+	conns := make([]*workerConn, 0, len(c.workers))
+	for w := range c.workers {
+		conns = append(conns, w)
+	}
+	ln := c.ln
+	c.mu.Unlock()
+
+	if ckp != nil {
+		if err := ckp.Save(c.cfg.CheckpointPath); err != nil {
+			c.mu.Lock()
+			if c.runErr == nil {
+				c.runErr = fmt.Errorf("dcoord: writing final checkpoint: %w", err)
+			}
+			c.mu.Unlock()
+		}
+	}
+	for _, w := range conns {
+		_ = w.send(&frame{Type: msgDone})
+		w.conn.Close()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	close(c.janitorStop)
+	close(c.monitorStop)
+	c.monitorWG.Wait()
+	close(c.doneCh)
+}
+
+// checkpointLocked snapshots coordinator state in the dexplore.Checkpoint
+// format (pending first, then leased: resume pops the deepest work first).
+// Caller holds c.mu.
+func (c *Coordinator) checkpointLocked() *dexplore.Checkpoint {
+	f := c.cfg.Fingerprint
+	ckp := &dexplore.Checkpoint{
+		Version:           1,
+		Workload:          f.Workload,
+		Procs:             f.Procs,
+		Clock:             f.Clock,
+		DualClock:         f.DualClock,
+		Transport:         f.Transport,
+		MixingBound:       f.MixingBound,
+		AutoLoopThreshold: f.AutoLoopThreshold,
+		Interleavings:     c.report.Interleavings,
+		Deadlocks:         c.report.Deadlocks,
+		DecisionPoints:    c.report.DecisionPoints,
+		AutoAbstracted:    c.report.AutoAbstracted,
+		WildcardsAnalyzed: c.report.WildcardsAnalyzed,
+		Unsafe:            c.report.Unsafe,
+		FirstTrace:        c.report.FirstTrace,
+	}
+	for _, res := range c.report.Errors {
+		ckp.Errors = append(ckp.Errors, &dexplore.CheckpointError{
+			Message:   res.Err.Error(),
+			Deadlock:  res.Deadlock,
+			Decisions: res.Decisions,
+		})
+	}
+	for _, t := range c.frontier {
+		if !c.done[taskKey(t)] {
+			ckp.Frontier = append(ckp.Frontier, t)
+		}
+	}
+	for _, l := range c.leases {
+		ckp.Frontier = append(ckp.Frontier, l.task)
+	}
+	return ckp
+}
+
+// janitor periodically expires leases: past-TTL (no heartbeat) or past the
+// hard age cap (hung replay under a live heartbeat). Expired tasks requeue
+// under the redelivery cap.
+func (c *Coordinator) janitor() {
+	period := c.cfg.LeaseTTL / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.janitorStop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var failed error
+		c.mu.Lock()
+		for id, l := range c.leases {
+			if now.After(l.expires) || now.Sub(l.granted) > c.cfg.MaxLeaseAge {
+				delete(c.leases, id)
+				if err := c.requeueLocked(l); err != nil && failed == nil {
+					failed = err
+				}
+			}
+		}
+		if failed != nil {
+			c.failLocked(failed)
+		}
+		fin := c.finishable()
+		c.mu.Unlock()
+		if fin {
+			c.finalize()
+			return
+		}
+		c.dispatch()
+	}
+}
+
+// monitor drives the OnProgress callback, sampling the sliding-window rate.
+func (c *Coordinator) monitor() {
+	defer c.monitorWG.Done()
+	ticker := time.NewTicker(c.cfg.ProgressEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.monitorStop:
+			return
+		case <-ticker.C:
+			c.cfg.OnProgress(c.progress())
+		}
+	}
+}
+
+// progress builds a dexplore.Progress snapshot (Busy = outstanding leases).
+func (c *Coordinator) progress() dexplore.Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	elapsed := now.Sub(c.start)
+	mean := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		mean = float64(c.report.Interleavings) / s
+	}
+	window, ok := c.rate.Rate(now, c.report.Interleavings)
+	if !ok {
+		window = mean
+	}
+	c.rate.Observe(now, c.report.Interleavings)
+	return dexplore.Progress{
+		Interleavings:   c.report.Interleavings,
+		PerSecond:       mean,
+		WindowPerSecond: window,
+		WindowValid:     ok,
+		FrontierDepth:   len(c.frontier),
+		Busy:            len(c.leases),
+		Elapsed:         elapsed,
+	}
+}

@@ -1,0 +1,270 @@
+package dcoord
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dampi/internal/core"
+)
+
+// fakeWorker is a raw protocol client: it joins the coordinator but runs no
+// replays, giving tests direct control over heartbeats, silence, stale
+// results and abrupt exits.
+type fakeWorker struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+// dialFake joins addr with the given fingerprint and returns after the
+// welcome frame.
+func dialFake(t *testing.T, addr string, fp Fingerprint, name string, slots int) *fakeWorker {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("fake worker dial: %v", err)
+	}
+	f := &fakeWorker{t: t, conn: conn}
+	f.send(&frame{Type: msgHello, Proto: protoVersion, Worker: name, Slots: slots, Fingerprint: &fp})
+	fr := f.recv()
+	if fr.Type != msgWelcome {
+		t.Fatalf("fake worker handshake: got %s frame (reason %q), want welcome", fr.Type, fr.Reason)
+	}
+	return f
+}
+
+func (f *fakeWorker) send(fr *frame) {
+	f.t.Helper()
+	if err := writeFrame(f.conn, fr); err != nil {
+		f.t.Fatalf("fake worker send %s: %v", fr.Type, err)
+	}
+}
+
+// recv reads one frame with a test-failure timeout.
+func (f *fakeWorker) recv() *frame {
+	f.t.Helper()
+	_ = f.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	fr, err := readFrame(f.conn)
+	if err != nil {
+		f.t.Fatalf("fake worker recv: %v", err)
+	}
+	return fr
+}
+
+// recvTask reads frames until a task arrives.
+func (f *fakeWorker) recvTask() *frame {
+	f.t.Helper()
+	for {
+		fr := f.recv()
+		if fr.Type == msgTask {
+			return fr
+		}
+	}
+}
+
+func (f *fakeWorker) close() { f.conn.Close() }
+
+// waitStatus polls the coordinator until cond holds or the deadline passes.
+func waitStatus(t *testing.T, c *Coordinator, what string, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := c.Status()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s: %+v", what, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// leaseTestConfig is a minimal coordinator config for protocol-level tests
+// (the fake worker never replays, so no program is involved on this side).
+func leaseTestConfig(ttl time.Duration) Config {
+	return Config{
+		Fingerprint: Fingerprint{Workload: "lease-test", Procs: 3, MixingBound: core.Unbounded},
+		LeaseTTL:    ttl,
+	}
+}
+
+// TestLeaseExpiryRequeues: a worker that takes a lease and then hangs (no
+// heartbeat) forfeits it; the task is requeued and handed out again.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	cfg := leaseTestConfig(50 * time.Millisecond)
+	cfg.MaxRedeliveries = 100 // expiry loops back to the same silent worker
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+
+	f := dialFake(t, addr, cfg.Fingerprint, "silent", 1)
+	defer f.close()
+	task := f.recvTask()
+	if !task.Root || task.Task == nil {
+		t.Fatalf("first lease is not the root task: %+v", task)
+	}
+
+	st := waitStatus(t, c, "lease expiry requeue", func(st Status) bool { return st.Requeues >= 1 })
+	if st.Interleavings != 0 {
+		t.Errorf("silent worker produced interleavings: %+v", st)
+	}
+
+	// The requeued task must be re-leased (to the only — still silent —
+	// worker): at-least-once delivery survives a hang.
+	re := f.recvTask()
+	if taskKey(re.Task) != taskKey(task.Task) {
+		t.Errorf("requeued lease carries task %s, want %s", taskKey(re.Task), taskKey(task.Task))
+	}
+	if re.Lease == task.Lease {
+		t.Errorf("requeued task reused lease id %d", re.Lease)
+	}
+}
+
+// TestHeartbeatKeepsLeaseAlive: heartbeats renew leases past the TTL, so a
+// slow-but-alive worker keeps its work.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	cfg := leaseTestConfig(60 * time.Millisecond)
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+
+	f := dialFake(t, addr, cfg.Fingerprint, "slow", 1)
+	defer f.close()
+	f.recvTask()
+
+	// Heartbeat through 5 TTLs; the lease must survive with no requeue.
+	stop := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(stop) {
+		f.send(&frame{Type: msgHeartbeat, Worker: "slow"})
+		time.Sleep(15 * time.Millisecond)
+	}
+	if st := c.Status(); st.Requeues != 0 || st.ActiveLeases != 1 {
+		t.Errorf("heartbeating lease was lost: %+v", st)
+	}
+}
+
+// TestHardLeaseAgeCapsHeartbeats: a hung replay under a live connection
+// (heartbeats flowing, no result) still forfeits the lease at MaxLeaseAge.
+func TestHardLeaseAgeCapsHeartbeats(t *testing.T) {
+	cfg := leaseTestConfig(50 * time.Millisecond)
+	cfg.MaxLeaseAge = 150 * time.Millisecond
+	cfg.MaxRedeliveries = 100
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+
+	f := dialFake(t, addr, cfg.Fingerprint, "wedged", 1)
+	defer f.close()
+	f.recvTask()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := writeFrame(f.conn, &frame{Type: msgHeartbeat, Worker: "wedged"}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	waitStatus(t, c, "hard lease-age requeue", func(st Status) bool { return st.Requeues >= 1 })
+}
+
+// TestRedeliveryCapAborts: a task that keeps losing its lease (a poison
+// task, or a cluster that cannot hold one) aborts the exploration with a
+// clear error instead of looping forever.
+func TestRedeliveryCapAborts(t *testing.T) {
+	cfg := leaseTestConfig(40 * time.Millisecond)
+	cfg.MaxRedeliveries = 2
+	c, addr := startCoordinator(t, cfg)
+
+	f := dialFake(t, addr, cfg.Fingerprint, "blackhole", 1)
+	defer f.close()
+	// Swallow every lease silently; expiry after expiry burns the cap.
+	go func() {
+		for {
+			if _, err := readFrame(f.conn); err != nil {
+				return
+			}
+		}
+	}()
+
+	_, err := waitFor(t, c)
+	if err == nil {
+		t.Fatal("redelivery cap exceeded but exploration reported success")
+	}
+	if got := err.Error(); !strings.Contains(got, "redelivery cap") {
+		t.Errorf("cap error %q does not name the redelivery cap", got)
+	}
+}
+
+// TestLateResultDeduplicated: a result arriving after its lease expired and
+// the task was completed elsewhere is dropped — at-least-once delivery,
+// effectively-once merge. A forged duplicate must not corrupt the report.
+func TestLateResultDeduplicated(t *testing.T) {
+	cfg := leaseTestConfig(50 * time.Millisecond)
+	cfg.MaxRedeliveries = 100
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+
+	// The sluggard takes the root lease and sits on it past expiry.
+	slug := dialFake(t, addr, cfg.Fingerprint, "sluggard", 1)
+	defer slug.close()
+	rootFrame := slug.recvTask()
+	waitStatus(t, c, "root lease expiry", func(st Status) bool { return st.Requeues >= 1 })
+
+	// A second worker completes the requeued root for real: one child task,
+	// one decision point.
+	child := &core.SubtreeTask{Decisions: dec(0, 1, 2), Budget: core.Unbounded, Explorable: true}
+	fin := dialFake(t, addr, cfg.Fingerprint, "finisher", 1)
+	defer fin.close()
+	re := fin.recvTask()
+	fin.send(&frame{Type: msgResult, Result: &WireResult{
+		Lease:          re.Lease,
+		Key:            taskKey(re.Task),
+		Decisions:      core.NewDecisions(),
+		Children:       []*core.SubtreeTask{child},
+		DecisionPoints: 1,
+		Root:           &RootInfo{WildcardsAnalyzed: 1, FirstTrace: &core.RunTrace{}},
+	}})
+	waitStatus(t, c, "real root merge", func(st Status) bool { return st.Interleavings == 1 })
+
+	// The sluggard now delivers its stale root result — with a forged error
+	// that must NOT enter the report.
+	slug.send(&frame{Type: msgResult, Result: &WireResult{
+		Lease:     rootFrame.Lease,
+		Key:       taskKey(rootFrame.Task),
+		ErrMsg:    "forged late-duplicate error",
+		Decisions: core.NewDecisions(),
+	}})
+
+	// Finish the child so the exploration ends.
+	cf := fin.recvTask()
+	fin.send(&frame{Type: msgResult, Result: &WireResult{
+		Lease:     cf.Lease,
+		Key:       taskKey(cf.Task),
+		Decisions: cf.Task.Decisions,
+	}})
+
+	rep, err := waitFor(t, c)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if rep.Interleavings != 2 {
+		t.Errorf("interleavings = %d, want 2 (late duplicate double-counted?)", rep.Interleavings)
+	}
+	if len(rep.Errors) != 0 {
+		t.Errorf("forged late duplicate entered the report: %v", rep.Errors)
+	}
+}
+
+// dec builds a one-entry decision set.
+func dec(rank int, lc uint64, src int) *core.Decisions {
+	d := core.NewDecisions()
+	d.Force(core.EpochID{Rank: rank, LC: lc}, src)
+	return d
+}

@@ -1,0 +1,225 @@
+// Package dcoord is the distributed exploration service: a coordinator /
+// worker cluster layer that scales the epoch-decision search of
+// internal/dexplore across machines, in the spirit of the paper's
+// distributed-replay outlook. The coordinator owns the frontier of
+// core.SubtreeTask subtrees and the report aggregation; workers connect over
+// TCP, replay subtrees with their own core.RunContext, and stream back
+// results plus discovered expansions. The merged report covers exactly the
+// interleaving set a single-process run would cover.
+//
+// Fault tolerance is lease-based: every task handed to a worker carries a
+// time-bounded lease renewed by heartbeats. A lease expires when its worker
+// crashes, hangs, or disconnects, and the task is requeued (with a
+// redelivery cap so a poison task cannot loop forever). Completed-task
+// deduplication makes the at-least-once delivery effectively-once in the
+// report, so killing a worker mid-exploration still yields the identical
+// report.
+//
+// The wire protocol is deliberately boring: length-prefixed JSON frames over
+// a plain TCP connection (stdlib only), with a fingerprint handshake that
+// refuses workers whose workload or exploration parameters differ from the
+// coordinator's.
+package dcoord
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dampi/internal/core"
+)
+
+// protoVersion guards the frame format; a worker with a different protocol
+// version is rejected at handshake.
+const protoVersion = 1
+
+// maxFrameSize bounds a single frame (a frontier expansion or the root
+// trace can be large, but anything beyond this is a corrupt stream).
+const maxFrameSize = 64 << 20
+
+// Frame types.
+const (
+	// msgHello is the worker's opening frame: protocol version, worker name,
+	// slot count and config fingerprint.
+	msgHello = "hello"
+	// msgWelcome accepts a hello; carries the lease TTL the worker must
+	// heartbeat within.
+	msgWelcome = "welcome"
+	// msgReject refuses a hello (fingerprint or protocol mismatch). The
+	// worker must not retry: the mismatch is permanent.
+	msgReject = "reject"
+	// msgTask leases one subtree task to the worker.
+	msgTask = "task"
+	// msgResult returns a completed task's outcome and expansion.
+	msgResult = "result"
+	// msgHeartbeat renews all of the worker's leases.
+	msgHeartbeat = "heartbeat"
+	// msgDone tells the worker the exploration is over; it disconnects and
+	// exits cleanly.
+	msgDone = "done"
+)
+
+// frame is the single wire envelope; Type selects which fields are
+// meaningful. One struct (rather than one per message) keeps the codec to a
+// single json.Decoder with no two-phase dispatch.
+type frame struct {
+	Type string `json:"type"`
+
+	// hello
+	Proto       int          `json:"proto,omitempty"`
+	Worker      string       `json:"worker,omitempty"`
+	Slots       int          `json:"slots,omitempty"`
+	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+
+	// reject
+	Reason string `json:"reason,omitempty"`
+
+	// welcome
+	LeaseTTLMillis int64 `json:"lease_ttl_ms,omitempty"`
+
+	// task
+	Lease uint64            `json:"lease,omitempty"`
+	Task  *core.SubtreeTask `json:"task,omitempty"`
+	Root  bool              `json:"root,omitempty"`
+
+	// result
+	Result *WireResult `json:"result,omitempty"`
+}
+
+// WireResult is one completed replay in wire form: the interleaving outcome
+// (errors travel as strings; live error values do not survive JSON, same as
+// dexplore.CheckpointError) plus the subtree expansion computed worker-side.
+type WireResult struct {
+	// Lease echoes the task frame's lease ID.
+	Lease uint64 `json:"lease"`
+	// Key is the task's stable identity (the decision-prefix signature); the
+	// coordinator deduplicates completions by it.
+	Key string `json:"key"`
+
+	// Fatal, if non-empty, reports a replay-harness failure (not a program
+	// error): the exploration must abort, matching the single-process
+	// engines' error return.
+	Fatal string `json:"fatal,omitempty"`
+
+	// Interleaving outcome.
+	ErrMsg     string               `json:"err,omitempty"`
+	Deadlock   bool                 `json:"deadlock,omitempty"`
+	Decisions  *core.Decisions      `json:"decisions,omitempty"`
+	Epochs     int                  `json:"epochs,omitempty"`
+	Mismatches []core.ForcedMismatch `json:"mismatches,omitempty"`
+
+	// Expansion (empty for deadlocked runs).
+	Children       []*core.SubtreeTask `json:"children,omitempty"`
+	DecisionPoints int                 `json:"decision_points,omitempty"`
+	AutoAbstracted int                 `json:"auto_abstracted,omitempty"`
+
+	// Root carries the self-discovery run's extras (only on the root task).
+	Root *RootInfo `json:"root,omitempty"`
+}
+
+// RootInfo is what only the initial self-discovery run contributes to the
+// report: the canonical trace, the wildcard count and the §V alerts.
+type RootInfo struct {
+	WildcardsAnalyzed int                 `json:"wildcards_analyzed"`
+	Unsafe            []core.UnsafeReport `json:"unsafe,omitempty"`
+	FirstTrace        *core.RunTrace      `json:"first_trace,omitempty"`
+}
+
+// Fingerprint identifies the exploration a node is configured for. Both
+// sides must agree on every field: a mismatched worker would replay a
+// different program or a different interleaving space, silently corrupting
+// the merged report, so the handshake (and checkpoint resume) refuse it.
+type Fingerprint struct {
+	Workload          string         `json:"workload"`
+	Procs             int            `json:"procs"`
+	Clock             core.ClockMode `json:"clock"`
+	DualClock         bool           `json:"dual_clock,omitempty"`
+	Transport         core.Transport `json:"transport"`
+	MixingBound       int            `json:"mixing_bound"`
+	AutoLoopThreshold int            `json:"auto_loop_threshold,omitempty"`
+}
+
+// FingerprintFor derives the fingerprint of an exploration: the workload
+// name plus every ExplorerConfig field that shapes the interleaving space.
+// Coordinator and workers build theirs through this one function so the two
+// cannot drift.
+func FingerprintFor(workload string, cfg *core.ExplorerConfig) Fingerprint {
+	return Fingerprint{
+		Workload:          workload,
+		Procs:             cfg.Procs,
+		Clock:             cfg.Clock,
+		DualClock:         cfg.DualClock,
+		Transport:         cfg.Transport,
+		MixingBound:       cfg.MixingBound,
+		AutoLoopThreshold: cfg.AutoLoopThreshold,
+	}
+}
+
+// Check compares a worker's fingerprint against the coordinator's, returning
+// a field-naming error on the first mismatch.
+func (f Fingerprint) Check(worker Fingerprint) error {
+	switch {
+	case f.Workload != worker.Workload:
+		return fmt.Errorf("dcoord: workload mismatch: coordinator %q, worker %q", f.Workload, worker.Workload)
+	case f.Procs != worker.Procs:
+		return fmt.Errorf("dcoord: procs mismatch: coordinator %d, worker %d", f.Procs, worker.Procs)
+	case f.Clock != worker.Clock:
+		return fmt.Errorf("dcoord: clock mismatch: coordinator %v, worker %v", f.Clock, worker.Clock)
+	case f.DualClock != worker.DualClock:
+		return fmt.Errorf("dcoord: dual-clock mismatch: coordinator %v, worker %v", f.DualClock, worker.DualClock)
+	case f.Transport != worker.Transport:
+		return fmt.Errorf("dcoord: transport mismatch: coordinator %v, worker %v", f.Transport, worker.Transport)
+	case f.MixingBound != worker.MixingBound:
+		return fmt.Errorf("dcoord: mixing bound mismatch: coordinator k=%d, worker k=%d", f.MixingBound, worker.MixingBound)
+	case f.AutoLoopThreshold != worker.AutoLoopThreshold:
+		return fmt.Errorf("dcoord: autoloop mismatch: coordinator %d, worker %d", f.AutoLoopThreshold, worker.AutoLoopThreshold)
+	}
+	return nil
+}
+
+// writeFrame serializes one frame as a 4-byte big-endian length prefix
+// followed by the JSON payload. Callers serialize concurrent writers.
+func writeFrame(w io.Writer, fr *frame) error {
+	body, err := json.Marshal(fr)
+	if err != nil {
+		return fmt.Errorf("dcoord: encoding %s frame: %w", fr.Type, err)
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("dcoord: %s frame too large (%d bytes)", fr.Type, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("dcoord: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	fr := &frame{}
+	if err := json.Unmarshal(body, fr); err != nil {
+		return nil, fmt.Errorf("dcoord: decoding frame: %w", err)
+	}
+	return fr, nil
+}
+
+// taskKey is the stable identity of a subtree task: its decision-prefix
+// signature. Each task in one exploration has a distinct prefix (the serial
+// explorer's per-interleaving signatures are distinct by construction), so
+// the key is unique and survives requeue/redelivery.
+func taskKey(t *core.SubtreeTask) string { return t.Decisions.String() }

@@ -1,0 +1,119 @@
+package dcoord
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dampi/internal/core"
+)
+
+// TestFrameRoundTrip: every frame shape survives the length-prefixed JSON
+// codec byte-for-byte in meaning.
+func TestFrameRoundTrip(t *testing.T) {
+	fp := baseFingerprint()
+	task := &core.SubtreeTask{Decisions: dec(1, 3, 0), Budget: 2, Explorable: true}
+	frames := []*frame{
+		{Type: msgHello, Proto: protoVersion, Worker: "w1", Slots: 4, Fingerprint: &fp},
+		{Type: msgWelcome, LeaseTTLMillis: 10000},
+		{Type: msgReject, Reason: "dcoord: procs mismatch"},
+		{Type: msgTask, Lease: 42, Task: task, Root: false},
+		{Type: msgHeartbeat, Worker: "w1"},
+		{Type: msgDone},
+		{Type: msgResult, Result: &WireResult{
+			Lease:          42,
+			Key:            taskKey(task),
+			ErrMsg:         "rank 2: assertion failed",
+			Decisions:      dec(1, 3, 0),
+			Epochs:         7,
+			Children:       []*core.SubtreeTask{{Decisions: dec(2, 1, 1), Budget: core.Unbounded, Explorable: true}},
+			DecisionPoints: 3,
+			Root:           &RootInfo{WildcardsAnalyzed: 5},
+		}},
+	}
+	for _, in := range frames {
+		t.Run(in.Type, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := writeFrame(&buf, in); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			out, err := readFrame(&buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if out.Type != in.Type || out.Proto != in.Proto || out.Worker != in.Worker ||
+				out.Slots != in.Slots || out.Reason != in.Reason ||
+				out.LeaseTTLMillis != in.LeaseTTLMillis || out.Lease != in.Lease || out.Root != in.Root {
+				t.Errorf("scalar fields changed: %+v -> %+v", in, out)
+			}
+			if in.Fingerprint != nil && *out.Fingerprint != *in.Fingerprint {
+				t.Errorf("fingerprint changed: %+v -> %+v", *in.Fingerprint, *out.Fingerprint)
+			}
+			if in.Task != nil && taskKey(out.Task) != taskKey(in.Task) {
+				t.Errorf("task key changed: %s -> %s", taskKey(in.Task), taskKey(out.Task))
+			}
+			if in.Result != nil {
+				if out.Result.Key != in.Result.Key || out.Result.ErrMsg != in.Result.ErrMsg ||
+					out.Result.Epochs != in.Result.Epochs || out.Result.DecisionPoints != in.Result.DecisionPoints {
+					t.Errorf("result changed: %+v -> %+v", in.Result, out.Result)
+				}
+				if len(out.Result.Children) != 1 || taskKey(out.Result.Children[0]) != taskKey(in.Result.Children[0]) {
+					t.Errorf("children changed: %+v", out.Result.Children)
+				}
+				if out.Result.Root == nil || out.Result.Root.WildcardsAnalyzed != 5 {
+					t.Errorf("root info changed: %+v", out.Result.Root)
+				}
+			}
+		})
+	}
+}
+
+// TestReadFrameRejectsOversized: a length prefix beyond the frame cap is a
+// corrupt stream, not a 4GB allocation.
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrameSize+1)
+	_, err := readFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+}
+
+// TestReadFrameRejectsTruncated: a frame cut mid-body errors instead of
+// hanging or returning a partial decode.
+func TestReadFrameRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &frame{Type: msgHeartbeat, Worker: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := readFrame(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated frame decoded successfully")
+	}
+}
+
+// TestTaskKeyDistinguishesPrefixes: the dedup key separates distinct
+// decision prefixes and is stable across a JSON round trip.
+func TestTaskKeyDistinguishesPrefixes(t *testing.T) {
+	a := &core.SubtreeTask{Decisions: dec(0, 1, 2), Budget: 1, Explorable: true}
+	b := &core.SubtreeTask{Decisions: dec(0, 1, 3), Budget: 1, Explorable: true}
+	if taskKey(a) == taskKey(b) {
+		t.Fatalf("distinct prefixes share key %q", taskKey(a))
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &frame{Type: msgTask, Lease: 1, Task: a}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taskKey(fr.Task) != taskKey(a) {
+		t.Errorf("key unstable across codec: %q -> %q", taskKey(a), taskKey(fr.Task))
+	}
+	if !reflect.DeepEqual(fr.Task.Budget, a.Budget) || fr.Task.Explorable != a.Explorable {
+		t.Errorf("task fields changed: %+v -> %+v", a, fr.Task)
+	}
+}

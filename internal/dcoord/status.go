@@ -1,0 +1,142 @@
+package dcoord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Status is the coordinator's live state snapshot, served as JSON on
+// /status. Field names are the wire contract; dashboards read them.
+type Status struct {
+	State         string  `json:"state"` // exploring | draining | done | failed
+	Workload      string  `json:"workload,omitempty"`
+	Procs         int     `json:"procs"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	Interleavings int     `json:"interleavings"`
+	Errors        int     `json:"errors"`
+	Deadlocks     int     `json:"deadlocks"`
+	DecisionPts   int     `json:"decision_points"`
+	FrontierDepth int     `json:"frontier_depth"`
+	ActiveLeases  int     `json:"active_leases"`
+	Requeues      int     `json:"requeues"`
+	MeanPerSec    float64 `json:"per_second_mean"`
+	WindowPerSec  float64 `json:"per_second_window"`
+	Capped        bool    `json:"capped,omitempty"`
+	Workers       []WorkerStatus `json:"workers"`
+}
+
+// WorkerStatus is one connected worker's live state.
+type WorkerStatus struct {
+	Name           string  `json:"name"`
+	Addr           string  `json:"addr"`
+	Slots          int     `json:"slots"`
+	ActiveLeases   int     `json:"active_leases"`
+	Completed      int     `json:"completed"`
+	ConnectedSec   float64 `json:"connected_sec"`
+	OldestLeaseSec float64 `json:"oldest_lease_sec"`
+}
+
+// Status builds a snapshot of the exploration.
+func (c *Coordinator) Status() Status {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := now.Sub(c.start)
+	mean := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		mean = float64(c.report.Interleavings) / s
+	}
+	window, ok := c.rate.Rate(now, c.report.Interleavings)
+	if !ok {
+		window = mean
+	}
+	c.rate.Observe(now, c.report.Interleavings)
+	st := Status{
+		State:         "exploring",
+		Workload:      c.cfg.Fingerprint.Workload,
+		Procs:         c.cfg.Fingerprint.Procs,
+		ElapsedSec:    elapsed.Seconds(),
+		Interleavings: c.report.Interleavings,
+		Errors:        len(c.report.Errors),
+		Deadlocks:     c.report.Deadlocks,
+		DecisionPts:   c.report.DecisionPoints,
+		FrontierDepth: len(c.frontier),
+		ActiveLeases:  len(c.leases),
+		Requeues:      c.requeues,
+		MeanPerSec:    mean,
+		WindowPerSec:  window,
+		Capped:        c.report.Capped,
+	}
+	switch {
+	case c.runErr != nil:
+		st.State = "failed"
+	case c.finished:
+		st.State = "done"
+	case c.stopped:
+		st.State = "draining"
+	}
+	oldest := make(map[*workerConn]time.Time)
+	for _, l := range c.leases {
+		if t, ok := oldest[l.conn]; !ok || l.granted.Before(t) {
+			oldest[l.conn] = l.granted
+		}
+	}
+	for w := range c.workers {
+		ws := WorkerStatus{
+			Name:         w.name,
+			Addr:         w.conn.RemoteAddr().String(),
+			Slots:        w.slots,
+			ActiveLeases: w.active,
+			Completed:    w.completed,
+			ConnectedSec: now.Sub(w.since).Seconds(),
+		}
+		if t, ok := oldest[w]; ok {
+			ws.OldestLeaseSec = now.Sub(t).Seconds()
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	return st
+}
+
+// StatusHandler returns the coordinator's HTTP surface: /status (JSON
+// snapshot) and /metrics (Prometheus text format), so a long-running cluster
+// exploration is observable while it runs.
+func (c *Coordinator) StatusHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := c.Status()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var up int
+		if st.State == "exploring" || st.State == "draining" {
+			up = 1
+		}
+		fmt.Fprintf(w, "# HELP dampi_up Whether the exploration is still running.\n# TYPE dampi_up gauge\ndampi_up %d\n", up)
+		fmt.Fprintf(w, "# HELP dampi_interleavings_total Replays merged into the report.\n# TYPE dampi_interleavings_total counter\ndampi_interleavings_total %d\n", st.Interleavings)
+		fmt.Fprintf(w, "# HELP dampi_interleavings_per_second Trailing-window completion rate.\n# TYPE dampi_interleavings_per_second gauge\ndampi_interleavings_per_second %g\n", st.WindowPerSec)
+		fmt.Fprintf(w, "# HELP dampi_frontier_depth Pending subtree tasks.\n# TYPE dampi_frontier_depth gauge\ndampi_frontier_depth %d\n", st.FrontierDepth)
+		fmt.Fprintf(w, "# HELP dampi_active_leases Tasks currently leased to workers.\n# TYPE dampi_active_leases gauge\ndampi_active_leases %d\n", st.ActiveLeases)
+		fmt.Fprintf(w, "# HELP dampi_requeues_total Leases lost and requeued (crash, hang, disconnect).\n# TYPE dampi_requeues_total counter\ndampi_requeues_total %d\n", st.Requeues)
+		fmt.Fprintf(w, "# HELP dampi_errors_total Failing interleavings found.\n# TYPE dampi_errors_total counter\ndampi_errors_total %d\n", st.Errors)
+		fmt.Fprintf(w, "# HELP dampi_deadlocks_total Deadlocked interleavings found.\n# TYPE dampi_deadlocks_total counter\ndampi_deadlocks_total %d\n", st.Deadlocks)
+		fmt.Fprintf(w, "# HELP dampi_workers_connected Connected workers.\n# TYPE dampi_workers_connected gauge\ndampi_workers_connected %d\n", len(st.Workers))
+		fmt.Fprintf(w, "# HELP dampi_worker_lease_age_seconds Age of each worker's oldest outstanding lease.\n# TYPE dampi_worker_lease_age_seconds gauge\n")
+		for _, ws := range st.Workers {
+			fmt.Fprintf(w, "dampi_worker_lease_age_seconds{worker=%q} %g\n", ws.Name, ws.OldestLeaseSec)
+		}
+		fmt.Fprintf(w, "# HELP dampi_worker_completed_total Results merged per worker session.\n# TYPE dampi_worker_completed_total counter\n")
+		for _, ws := range st.Workers {
+			fmt.Fprintf(w, "dampi_worker_completed_total{worker=%q} %d\n", ws.Name, ws.Completed)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,124 @@
+package dcoord
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStatusEndpointJSON: /status serves the live snapshot with the fields
+// dashboards depend on, including per-worker lease state.
+func TestStatusEndpointJSON(t *testing.T) {
+	cfg := leaseTestConfig(time.Second)
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+
+	f := dialFake(t, addr, cfg.Fingerprint, "observer", 2)
+	defer f.close()
+	f.recvTask() // hold the root lease so active_leases is visible
+
+	srv := httptest.NewServer(c.StatusHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /status: %v", err)
+	}
+	if st.State != "exploring" {
+		t.Errorf("state = %q, want exploring", st.State)
+	}
+	if st.Workload != "lease-test" || st.Procs != 3 {
+		t.Errorf("identity fields wrong: %+v", st)
+	}
+	if st.ActiveLeases != 1 {
+		t.Errorf("active_leases = %d, want 1 (root held by fake worker)", st.ActiveLeases)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Name != "observer" || st.Workers[0].Slots != 2 {
+		t.Errorf("workers = %+v, want one 2-slot observer", st.Workers)
+	}
+	if st.Workers[0].ActiveLeases != 1 {
+		t.Errorf("worker active_leases = %d, want 1", st.Workers[0].ActiveLeases)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves Prometheus text exposition with the
+// advertised metric names and per-worker labels.
+func TestMetricsEndpoint(t *testing.T) {
+	cfg := leaseTestConfig(time.Second)
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+
+	f := dialFake(t, addr, cfg.Fingerprint, "scraped", 1)
+	defer f.close()
+	f.recvTask()
+
+	srv := httptest.NewServer(c.StatusHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"dampi_up 1",
+		"dampi_interleavings_total 0",
+		"dampi_interleavings_per_second",
+		"dampi_frontier_depth",
+		"dampi_active_leases 1",
+		"dampi_requeues_total 0",
+		"dampi_errors_total 0",
+		"dampi_deadlocks_total 0",
+		"dampi_workers_connected 1",
+		`dampi_worker_lease_age_seconds{worker="scraped"}`,
+		`dampi_worker_completed_total{worker="scraped"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n--- body ---\n%s", want, body)
+		}
+	}
+}
+
+// TestStatusStateTransitions: the state field tracks the coordinator's
+// lifecycle from exploring through done.
+func TestStatusStateTransitions(t *testing.T) {
+	cfg := leaseTestConfig(time.Second)
+	c, addr := startCoordinator(t, cfg)
+
+	if st := c.Status(); st.State != "exploring" {
+		t.Errorf("initial state = %q, want exploring", st.State)
+	}
+
+	// Complete the root with no children: the exploration finishes.
+	f := dialFake(t, addr, cfg.Fingerprint, "oneshot", 1)
+	defer f.close()
+	fr := f.recvTask()
+	f.send(&frame{Type: msgResult, Result: &WireResult{
+		Lease:     fr.Lease,
+		Key:       taskKey(fr.Task),
+		Decisions: fr.Task.Decisions,
+		Root:      &RootInfo{},
+	}})
+	if _, err := waitFor(t, c); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if st := c.Status(); st.State != "done" {
+		t.Errorf("final state = %q, want done", st.State)
+	}
+}

@@ -1,0 +1,370 @@
+package dcoord
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"dampi/internal/core"
+)
+
+// WorkerConfig configures a worker process.
+type WorkerConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Name identifies the worker in coordinator status output. Defaults to
+	// host:pid.
+	Name string
+	// Slots is the number of concurrent replay slots (each with its own
+	// core.RunContext and mpi.World). Default 1.
+	Slots int
+	// Fingerprint is sent in the handshake; it must match the coordinator's
+	// or the join is rejected.
+	Fingerprint Fingerprint
+	// Explorer carries the replay parameters and the program. Its
+	// exploration fields must agree with Fingerprint (the caller builds both
+	// from one source).
+	Explorer core.ExplorerConfig
+	// DialTimeout bounds one connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// BackoffInitial and BackoffMax shape the reconnect backoff (exponential
+	// doubling). Defaults 100ms and 3s.
+	BackoffInitial time.Duration
+	BackoffMax     time.Duration
+	// MaxDials is the number of consecutive failed connection attempts
+	// before Run gives up. Default 30.
+	MaxDials int
+	// OnEvent, if non-nil, receives human-readable lifecycle lines
+	// (connected, reconnecting, rejected) for logging.
+	OnEvent func(string)
+}
+
+// Worker is one replay node of a distributed exploration: it joins the
+// coordinator, replays leased subtree tasks, and streams back results until
+// the coordinator reports the exploration done.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu       sync.Mutex
+	conn     net.Conn // current session's connection, for Stop/Kill
+	stopping bool     // graceful: finish in-flight replays, then return
+	killed   bool     // abrupt: drop the connection mid-work (fault injection)
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// NewWorker creates a worker. Like the engines it panics on a config without
+// a program or with a non-positive world size, so misuse fails loudly at
+// startup rather than at first lease.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Explorer.Procs < 1 {
+		panic("dcoord: WorkerConfig.Explorer.Procs must be >= 1")
+	}
+	if cfg.Explorer.Program == nil && cfg.Explorer.Runner == nil {
+		panic("dcoord: WorkerConfig.Explorer.Program must be set")
+	}
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		cfg.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.BackoffInitial <= 0 {
+		cfg.BackoffInitial = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 3 * time.Second
+	}
+	if cfg.MaxDials <= 0 {
+		cfg.MaxDials = 30
+	}
+	return &Worker{cfg: cfg, stopCh: make(chan struct{})}
+}
+
+// Stop drains gracefully: in-flight replays finish and their results are
+// delivered, then the worker disconnects and Run returns nil. The SIGTERM
+// path.
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	w.stopping = true
+	w.mu.Unlock()
+	w.stopOnce.Do(func() { close(w.stopCh) })
+}
+
+// Kill simulates a crash: the connection drops immediately, in-flight work
+// is abandoned, and Run returns without delivering results. The
+// coordinator's lease machinery must recover the lost tasks; tests use this
+// to exercise that path.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.killed = true
+	conn := w.conn
+	w.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	w.stopOnce.Do(func() { close(w.stopCh) })
+}
+
+// event emits one lifecycle line.
+func (w *Worker) event(format string, args ...any) {
+	if w.cfg.OnEvent != nil {
+		w.cfg.OnEvent(fmt.Sprintf(format, args...))
+	}
+}
+
+// Run joins the coordinator and processes leases until the exploration ends
+// (returns nil), the handshake is rejected (returns the rejection: the
+// mismatch is permanent, retrying cannot help), or the coordinator stays
+// unreachable past the dial budget.
+func (w *Worker) Run() error {
+	backoff := w.cfg.BackoffInitial
+	fails := 0
+	for {
+		if w.halted() {
+			return nil
+		}
+		conn, err := net.DialTimeout("tcp", w.cfg.Addr, w.cfg.DialTimeout)
+		if err != nil {
+			fails++
+			if fails >= w.cfg.MaxDials {
+				return fmt.Errorf("dcoord: coordinator %s unreachable after %d attempts: %w", w.cfg.Addr, fails, err)
+			}
+			w.event("dial %s failed (attempt %d): %v; retrying in %v", w.cfg.Addr, fails, err, backoff)
+			if !w.sleep(backoff) {
+				return nil
+			}
+			backoff *= 2
+			if backoff > w.cfg.BackoffMax {
+				backoff = w.cfg.BackoffMax
+			}
+			continue
+		}
+		fails = 0
+		backoff = w.cfg.BackoffInitial
+		done, err := w.session(conn)
+		if done {
+			return nil
+		}
+		if err != nil {
+			var rej *rejectError
+			if errors.As(err, &rej) {
+				return rej
+			}
+			w.event("session ended: %v; reconnecting", err)
+		}
+		if !w.sleep(w.cfg.BackoffInitial) {
+			return nil
+		}
+	}
+}
+
+// rejectError is a permanent handshake refusal.
+type rejectError struct{ reason string }
+
+func (e *rejectError) Error() string { return e.reason }
+
+// sleep waits d or until Stop/Kill; it reports whether the worker should
+// keep going.
+func (w *Worker) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-w.stopCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// halted reports whether Stop or Kill ended the worker's life.
+func (w *Worker) halted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stopping || w.killed
+}
+
+// session runs one connection's lifetime: handshake, then slots replaying
+// tasks while heartbeats renew the leases. It returns done=true when the
+// coordinator declared the exploration over.
+func (w *Worker) session(conn net.Conn) (bool, error) {
+	defer conn.Close()
+	w.mu.Lock()
+	w.conn = conn
+	killed := w.killed
+	w.mu.Unlock()
+	if killed {
+		return false, nil
+	}
+
+	fp := w.cfg.Fingerprint
+	var smu sync.Mutex // serializes result and heartbeat writes
+	send := func(fr *frame) error {
+		smu.Lock()
+		defer smu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		return writeFrame(conn, fr)
+	}
+	if err := send(&frame{Type: msgHello, Proto: protoVersion, Worker: w.cfg.Name, Slots: w.cfg.Slots, Fingerprint: &fp}); err != nil {
+		return false, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	fr, err := readFrame(conn)
+	if err != nil {
+		return false, err
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	switch fr.Type {
+	case msgWelcome:
+	case msgDone:
+		w.event("exploration already complete")
+		return true, nil
+	case msgReject:
+		w.event("rejected by coordinator: %s", fr.Reason)
+		return false, &rejectError{reason: fr.Reason}
+	default:
+		return false, fmt.Errorf("dcoord: unexpected %s frame in handshake", fr.Type)
+	}
+	ttl := time.Duration(fr.LeaseTTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	w.event("joined %s (ttl %v, %d slots)", w.cfg.Addr, ttl, w.cfg.Slots)
+
+	// Heartbeater: renews every lease this session holds. Stops with the
+	// session (conn close makes its send fail, which it ignores).
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		period := ttl / 3
+		if period < 5*time.Millisecond {
+			period = 5 * time.Millisecond
+		}
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ticker.C:
+				_ = send(&frame{Type: msgHeartbeat, Worker: w.cfg.Name})
+			}
+		}
+	}()
+
+	// Slots: each owns a RunContext so tool state recycles across the
+	// replays it runs (same per-worker ownership as dexplore).
+	tasks := make(chan *frame)
+	var slotWG sync.WaitGroup
+	for i := 0; i < w.cfg.Slots; i++ {
+		slotWG.Add(1)
+		go func() {
+			defer slotWG.Done()
+			rc := core.NewRunContext(&w.cfg.Explorer)
+			for fr := range tasks {
+				res := w.execute(rc, fr)
+				if err := send(&frame{Type: msgResult, Result: res}); err != nil {
+					return // session is over; the lease will expire and requeue
+				}
+			}
+		}()
+	}
+
+	// Reader: the session ends when the coordinator says done, the
+	// connection breaks, or Stop/Kill fires. Kill severs the connection
+	// (abandoning results); Stop only unblocks the pending read — the
+	// connection stays writable so draining slots still deliver.
+	done := false
+	var readErr error
+	sessDone := make(chan struct{})
+	defer close(sessDone)
+	go func() {
+		select {
+		case <-w.stopCh:
+			w.mu.Lock()
+			killed := w.killed
+			w.mu.Unlock()
+			if killed {
+				conn.Close()
+			} else {
+				_ = conn.SetReadDeadline(time.Now())
+			}
+		case <-sessDone:
+		}
+	}()
+	for {
+		fr, err := readFrame(conn)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if fr.Type == msgDone {
+			done = true
+			break
+		}
+		if fr.Type == msgTask && fr.Task != nil {
+			select {
+			case tasks <- fr:
+			case <-w.stopCh:
+			}
+			if w.halted() {
+				break
+			}
+		}
+	}
+	close(tasks)
+	slotWG.Wait() // graceful: in-flight replays finish and deliver
+	close(hbStop)
+	hbWG.Wait()
+	w.mu.Lock()
+	w.conn = nil
+	stopping, killed := w.stopping, w.killed
+	w.mu.Unlock()
+	if done || stopping || killed {
+		return true, nil
+	}
+	return false, readErr
+}
+
+// execute replays one leased task and builds its wire result: the
+// interleaving outcome, the subtree expansion, and (for the root task) the
+// self-discovery extras.
+func (w *Worker) execute(rc *core.RunContext, fr *frame) *WireResult {
+	t := fr.Task
+	out := &WireResult{Lease: fr.Lease, Key: taskKey(t)}
+	trace, res, err := rc.Run(t.Decisions)
+	if err != nil {
+		out.Fatal = err.Error()
+		return out
+	}
+	out.Deadlock = res.Deadlock
+	out.Decisions = res.Decisions
+	out.Epochs = res.Epochs
+	out.Mismatches = res.Mismatches
+	if res.Err != nil {
+		out.ErrMsg = res.Err.Error()
+	}
+	if !res.Deadlock {
+		ex := t.Expand(&w.cfg.Explorer, trace)
+		out.Children = ex.Children
+		out.DecisionPoints = ex.DecisionPoints
+		out.AutoAbstracted = ex.AutoAbstracted
+	}
+	if fr.Root {
+		out.Root = &RootInfo{
+			WildcardsAnalyzed: len(trace.Epochs),
+			Unsafe:            trace.Unsafe,
+			FirstTrace:        trace,
+		}
+	}
+	return out
+}

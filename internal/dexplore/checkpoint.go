@@ -23,6 +23,12 @@ const checkpointVersion = 1
 type Checkpoint struct {
 	Version int `json:"version"`
 
+	// Workload optionally names the program the exploration ran (set by the
+	// distributed coordinator, where the program is selected by name on both
+	// sides of the wire). Validated only when both checkpoint and config carry
+	// a name, so single-process checkpoints stay compatible.
+	Workload string `json:"workload,omitempty"`
+
 	// Exploration parameters, validated on resume.
 	Procs             int            `json:"procs"`
 	Clock             core.ClockMode `json:"clock"`
@@ -92,26 +98,40 @@ func (e *Engine) checkpointLocked() *Checkpoint {
 	return ckp
 }
 
+// Validate checks that the checkpoint was produced under the given
+// exploration parameters: resuming (or joining a cluster) with a different
+// world size, clock mode, transport or search bound would silently explore a
+// different interleaving space, so every mismatch is a hard error. The
+// workload name is checked only when both sides carry one.
+func (c *Checkpoint) Validate(workload string, cfg *core.ExplorerConfig) error {
+	if c.Version != checkpointVersion {
+		return fmt.Errorf("dexplore: checkpoint version %d, want %d", c.Version, checkpointVersion)
+	}
+	switch {
+	case c.Workload != "" && workload != "" && c.Workload != workload:
+		return fmt.Errorf("dexplore: checkpoint workload=%q, config workload=%q", c.Workload, workload)
+	case c.Procs != cfg.Procs:
+		return fmt.Errorf("dexplore: checkpoint procs=%d, config procs=%d", c.Procs, cfg.Procs)
+	case c.Clock != cfg.Clock:
+		return fmt.Errorf("dexplore: checkpoint clock=%v, config clock=%v", c.Clock, cfg.Clock)
+	case c.DualClock != cfg.DualClock:
+		return fmt.Errorf("dexplore: checkpoint dual-clock=%v, config dual-clock=%v", c.DualClock, cfg.DualClock)
+	case c.Transport != cfg.Transport:
+		return fmt.Errorf("dexplore: checkpoint transport=%v, config transport=%v", c.Transport, cfg.Transport)
+	case c.MixingBound != cfg.MixingBound:
+		return fmt.Errorf("dexplore: checkpoint k=%d, config k=%d", c.MixingBound, cfg.MixingBound)
+	case c.AutoLoopThreshold != cfg.AutoLoopThreshold:
+		return fmt.Errorf("dexplore: checkpoint autoloop=%d, config autoloop=%d", c.AutoLoopThreshold, cfg.AutoLoopThreshold)
+	}
+	return nil
+}
+
 // seedFromCheckpoint restores aggregates and frontier from a checkpoint in
 // place of the initial self-discovery run.
 func (e *Engine) seedFromCheckpoint(ckp *Checkpoint) error {
 	cfg := &e.cfg.Explorer
-	if ckp.Version != checkpointVersion {
-		return fmt.Errorf("dexplore: checkpoint version %d, want %d", ckp.Version, checkpointVersion)
-	}
-	switch {
-	case ckp.Procs != cfg.Procs:
-		return fmt.Errorf("dexplore: checkpoint procs=%d, config procs=%d", ckp.Procs, cfg.Procs)
-	case ckp.Clock != cfg.Clock:
-		return fmt.Errorf("dexplore: checkpoint clock=%v, config clock=%v", ckp.Clock, cfg.Clock)
-	case ckp.DualClock != cfg.DualClock:
-		return fmt.Errorf("dexplore: checkpoint dual-clock=%v, config dual-clock=%v", ckp.DualClock, cfg.DualClock)
-	case ckp.Transport != cfg.Transport:
-		return fmt.Errorf("dexplore: checkpoint transport=%v, config transport=%v", ckp.Transport, cfg.Transport)
-	case ckp.MixingBound != cfg.MixingBound:
-		return fmt.Errorf("dexplore: checkpoint k=%d, config k=%d", ckp.MixingBound, cfg.MixingBound)
-	case ckp.AutoLoopThreshold != cfg.AutoLoopThreshold:
-		return fmt.Errorf("dexplore: checkpoint autoloop=%d, config autoloop=%d", ckp.AutoLoopThreshold, cfg.AutoLoopThreshold)
+	if err := ckp.Validate("", cfg); err != nil {
+		return err
 	}
 	e.report.Interleavings = ckp.Interleavings
 	e.report.Deadlocks = ckp.Deadlocks

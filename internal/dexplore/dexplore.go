@@ -64,6 +64,11 @@ type Progress struct {
 	// history swamps the last minute — so this is the "what is it doing right
 	// now" number. Falls back to the mean until enough history accumulates.
 	WindowPerSecond float64
+	// WindowValid reports whether WindowPerSecond was actually measured over
+	// the trailing window. False while there is no baseline observation yet
+	// (the first snapshot, and any sub-second run): WindowPerSecond then
+	// merely echoes the mean and should not be presented as a window rate.
+	WindowValid bool
 	// FrontierDepth is the number of pending (unstarted) subtree tasks.
 	FrontierDepth int
 	// Busy is the number of workers currently executing a replay.
@@ -89,7 +94,7 @@ type Engine struct {
 	runErr   error // first fatal replay-harness error
 	sinceCkp int   // completions since the last checkpoint write
 	start    time.Time
-	rate     *rateTracker // sampled by snapshot(); guarded by mu
+	rate     *RateTracker // sampled by snapshot(); guarded by mu
 
 	cbMu sync.Mutex // serializes the OnInterleaving callback
 }
@@ -108,7 +113,7 @@ func New(cfg Config) *Engine {
 		workers:  cfg.Workers,
 		inflight: make(map[*core.SubtreeTask]bool),
 		report:   &core.Report{},
-		rate:     newRateTracker(rateWindow),
+		rate:     NewRateTracker(RateWindow),
 	}
 	if e.workers < 1 {
 		e.workers = 1
@@ -383,15 +388,16 @@ func (e *Engine) snapshot() Progress {
 	if s := elapsed.Seconds(); s > 0 {
 		mean = float64(e.report.Interleavings) / s
 	}
-	window, ok := e.rate.rate(now, e.report.Interleavings)
+	window, ok := e.rate.Rate(now, e.report.Interleavings)
 	if !ok {
 		window = mean
 	}
-	e.rate.observe(now, e.report.Interleavings)
+	e.rate.Observe(now, e.report.Interleavings)
 	return Progress{
 		Interleavings:   e.report.Interleavings,
 		PerSecond:       mean,
 		WindowPerSecond: window,
+		WindowValid:     ok,
 		FrontierDepth:   len(e.frontier),
 		Busy:            len(e.inflight),
 		Elapsed:         elapsed,

@@ -2,9 +2,10 @@ package dexplore
 
 import "time"
 
-// rateWindow is the span of the sliding-window throughput measurement
-// surfaced as Progress.WindowPerSecond.
-const rateWindow = 10 * time.Second
+// RateWindow is the span of the sliding-window throughput measurement
+// surfaced as Progress.WindowPerSecond (and by the distributed coordinator's
+// status endpoint).
+const RateWindow = 10 * time.Second
 
 // rateSample is one (time, cumulative count) observation.
 type rateSample struct {
@@ -12,23 +13,26 @@ type rateSample struct {
 	n int
 }
 
-// rateTracker computes a sliding-window completion rate from periodic
+// RateTracker computes a sliding-window completion rate from periodic
 // cumulative-counter observations. The mean-since-start rate goes stale on
 // long explorations (an hour of history swamps the last minute); the window
-// rate tracks what the engine is doing now.
-type rateTracker struct {
+// rate tracks what the engine is doing now. Shared by the in-process engine
+// and the distributed coordinator (internal/dcoord). Not safe for concurrent
+// use; callers serialize under their own lock.
+type RateTracker struct {
 	window  time.Duration
 	samples []rateSample // oldest first; samples[0] is the window baseline
 }
 
-func newRateTracker(window time.Duration) *rateTracker {
-	return &rateTracker{window: window}
+// NewRateTracker creates a tracker measuring over the given window.
+func NewRateTracker(window time.Duration) *RateTracker {
+	return &RateTracker{window: window}
 }
 
-// observe records that the cumulative count had value n at time now, and
+// Observe records that the cumulative count had value n at time now, and
 // prunes history older than the window. Observations must arrive in time
 // order with non-decreasing counts.
-func (rt *rateTracker) observe(now time.Time, n int) {
+func (rt *RateTracker) Observe(now time.Time, n int) {
 	rt.samples = append(rt.samples, rateSample{t: now, n: n})
 	cutoff := now.Add(-rt.window)
 	// Keep the newest sample at or before the cutoff as the baseline, so the
@@ -42,11 +46,11 @@ func (rt *rateTracker) observe(now time.Time, n int) {
 	}
 }
 
-// rate returns the completion rate over the trailing window ending at now.
+// Rate returns the completion rate over the trailing window ending at now.
 // ok is false when there is not yet enough history to measure (no baseline
 // observation or zero elapsed span); callers should fall back to the
 // mean-since-start rate.
-func (rt *rateTracker) rate(now time.Time, n int) (float64, bool) {
+func (rt *RateTracker) Rate(now time.Time, n int) (float64, bool) {
 	if len(rt.samples) == 0 {
 		return 0, false
 	}

@@ -14,21 +14,21 @@ func approx(t *testing.T, got, want float64) {
 }
 
 func TestRateTrackerEmpty(t *testing.T) {
-	rt := newRateTracker(10 * time.Second)
-	if _, ok := rt.rate(time.Unix(0, 0), 0); ok {
+	rt := NewRateTracker(10 * time.Second)
+	if _, ok := rt.Rate(time.Unix(0, 0), 0); ok {
 		t.Fatal("empty tracker reported a rate")
 	}
 }
 
 func TestRateTrackerSteadyState(t *testing.T) {
-	rt := newRateTracker(10 * time.Second)
+	rt := NewRateTracker(10 * time.Second)
 	t0 := time.Unix(1000, 0)
 	// 5 completions per second, sampled once a second.
 	for i := 0; i <= 30; i++ {
-		rt.observe(t0.Add(time.Duration(i)*time.Second), i*5)
+		rt.Observe(t0.Add(time.Duration(i)*time.Second), i*5)
 	}
 	now := t0.Add(31 * time.Second)
-	r, ok := rt.rate(now, 31*5)
+	r, ok := rt.Rate(now, 31*5)
 	if !ok {
 		t.Fatal("no rate after 30 samples")
 	}
@@ -40,19 +40,19 @@ func TestRateTrackerSteadyState(t *testing.T) {
 }
 
 func TestRateTrackerDetectsSlowdown(t *testing.T) {
-	rt := newRateTracker(10 * time.Second)
+	rt := NewRateTracker(10 * time.Second)
 	t0 := time.Unix(1000, 0)
 	// 100/s for a minute, then a full stop.
 	count := 0
 	for i := 0; i < 60; i++ {
-		rt.observe(t0.Add(time.Duration(i)*time.Second), count)
+		rt.Observe(t0.Add(time.Duration(i)*time.Second), count)
 		count += 100
 	}
 	stall := t0.Add(90 * time.Second)
 	for i := 60; i <= 90; i++ {
-		rt.observe(t0.Add(time.Duration(i)*time.Second), count)
+		rt.Observe(t0.Add(time.Duration(i)*time.Second), count)
 	}
-	r, ok := rt.rate(stall, count)
+	r, ok := rt.Rate(stall, count)
 	if !ok {
 		t.Fatal("no rate during stall")
 	}
@@ -64,14 +64,14 @@ func TestRateTrackerDetectsSlowdown(t *testing.T) {
 func TestRateTrackerBaselineSpansWindow(t *testing.T) {
 	// The newest sample at-or-before the cutoff is retained as the baseline,
 	// so the measured span covers the whole window.
-	rt := newRateTracker(10 * time.Second)
+	rt := NewRateTracker(10 * time.Second)
 	t0 := time.Unix(1000, 0)
-	rt.observe(t0, 0)
-	rt.observe(t0.Add(4*time.Second), 40)
-	rt.observe(t0.Add(12*time.Second), 120)
+	rt.Observe(t0, 0)
+	rt.Observe(t0.Add(4*time.Second), 40)
+	rt.Observe(t0.Add(12*time.Second), 120)
 	// Cutoff at t0+2s: the t0 sample is before it but is the only baseline
 	// candidate, so it must be kept.
-	r, ok := rt.rate(t0.Add(12*time.Second), 120)
+	r, ok := rt.Rate(t0.Add(12*time.Second), 120)
 	if !ok {
 		t.Fatal("no rate")
 	}
@@ -79,10 +79,10 @@ func TestRateTrackerBaselineSpansWindow(t *testing.T) {
 }
 
 func TestRateTrackerZeroSpan(t *testing.T) {
-	rt := newRateTracker(10 * time.Second)
+	rt := NewRateTracker(10 * time.Second)
 	t0 := time.Unix(1000, 0)
-	rt.observe(t0, 7)
-	if _, ok := rt.rate(t0, 7); ok {
+	rt.Observe(t0, 7)
+	if _, ok := rt.Rate(t0, 7); ok {
 		t.Fatal("zero-span rate reported ok")
 	}
 }

@@ -1,0 +1,199 @@
+package verify
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dampi/internal/core"
+	"dampi/internal/dcoord"
+	"dampi/internal/dexplore"
+	"dampi/mpi"
+)
+
+// ClusterConfig configures one node of a distributed verification: either
+// the coordinator (Serve) or a worker (Join). Both sides must be built from
+// the same exploration parameters and workload name — the join handshake
+// refuses any mismatch, because a worker replaying a different program or a
+// different interleaving space would silently corrupt the merged report.
+type ClusterConfig struct {
+	// Config carries the exploration parameters (Procs, Clock, MixingBound,
+	// ...). Coordinator-side, the fields that require running the program
+	// locally are unsupported: CheckLeaks, CollectStats, OnInterleaving and
+	// Workers must be zero (replays happen on the workers).
+	Config
+
+	// Workload names the program both sides run; part of the compatibility
+	// fingerprint.
+	Workload string
+
+	// Addr is the coordinator's TCP address: the listen address for Serve
+	// (":9477", "0.0.0.0:9477"), the dial address for Join.
+	Addr string
+
+	// LeaseTTL bounds how long a worker may hold a task without a heartbeat
+	// before it is requeued (coordinator; default 10s).
+	LeaseTTL time.Duration
+	// MaxRedeliveries caps how often one task may lose its lease before the
+	// exploration aborts as unhealthy (coordinator; default 3).
+	MaxRedeliveries int
+
+	// Slots is the worker's concurrent replay slot count (default 1).
+	Slots int
+	// WorkerName identifies the worker in status output (default host:pid).
+	WorkerName string
+	// OnEvent, if non-nil, receives worker lifecycle lines for logging.
+	OnEvent func(string)
+}
+
+// explorerConfig translates the public Config to the core form (program may
+// be nil on the coordinator, which never replays).
+func (cfg *ClusterConfig) explorerConfig(program func(p *mpi.Proc) error) core.ExplorerConfig {
+	return core.ExplorerConfig{
+		Procs:             cfg.Procs,
+		Program:           program,
+		Clock:             cfg.Clock,
+		DualClock:         cfg.DualClock,
+		Transport:         cfg.Transport,
+		AutoLoopThreshold: cfg.AutoLoopThreshold,
+		MixingBound:       cfg.MixingBound,
+	}
+}
+
+// fingerprint derives the compatibility fingerprint both Serve and Join
+// exchange in the handshake.
+func (cfg *ClusterConfig) fingerprint() dcoord.Fingerprint {
+	ecfg := cfg.explorerConfig(nil)
+	return dcoord.FingerprintFor(cfg.Workload, &ecfg)
+}
+
+// Coordinator is the coordinator side of a distributed verification. It owns
+// the exploration frontier and the merged report; workers created with Join
+// connect to it and replay leased subtrees.
+type Coordinator struct {
+	c   *dcoord.Coordinator
+	ln  net.Listener
+	cfg ClusterConfig
+}
+
+// Serve starts the coordinator of a distributed verification, listening on
+// cfg.Addr. It returns as soon as the listener is up; Wait blocks until the
+// exploration finishes and returns the merged result, which is identical to
+// what a single-process Run over the same parameters would report.
+func Serve(cfg ClusterConfig) (*Coordinator, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("verify: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("verify: distributed verification requires a Workload name")
+	}
+	switch {
+	case cfg.CheckLeaks:
+		return nil, fmt.Errorf("verify: CheckLeaks is unsupported distributed (the canonical run happens on a worker); run the leak check locally")
+	case cfg.CollectStats:
+		return nil, fmt.Errorf("verify: CollectStats is unsupported distributed; collect statistics locally")
+	case cfg.OnInterleaving != nil:
+		return nil, fmt.Errorf("verify: OnInterleaving is unsupported distributed")
+	case cfg.Workers != 0:
+		return nil, fmt.Errorf("verify: Workers is meaningless on a coordinator; workers join with Join")
+	}
+	if cfg.Resume && cfg.CheckpointFile == "" {
+		return nil, fmt.Errorf("verify: Resume requires CheckpointFile")
+	}
+	dcfg := dcoord.Config{
+		Fingerprint:      cfg.fingerprint(),
+		MaxInterleavings: cfg.MaxInterleavings,
+		StopOnFirstError: cfg.StopOnFirstError,
+		LeaseTTL:         cfg.LeaseTTL,
+		MaxRedeliveries:  cfg.MaxRedeliveries,
+		CheckpointPath:   cfg.CheckpointFile,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		OnProgress:       cfg.OnProgress,
+		ProgressEvery:    cfg.ProgressEvery,
+	}
+	if cfg.Resume {
+		ckp, err := dexplore.LoadCheckpoint(cfg.CheckpointFile)
+		if err != nil {
+			return nil, fmt.Errorf("verify: loading checkpoint: %w", err)
+		}
+		dcfg.Resume = ckp
+	}
+	c, err := dcoord.New(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := c.ListenAndServe(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{c: c, ln: ln, cfg: cfg}, nil
+}
+
+// Addr returns the coordinator's bound listen address (useful with ":0").
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Wait blocks until the exploration completes and returns the merged result.
+func (c *Coordinator) Wait() (*Result, error) {
+	rep, err := c.c.Wait()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Report: rep}
+	if c.cfg.ArtifactsDir != "" {
+		if err := writeArtifacts(c.cfg.ArtifactsDir, res); err != nil {
+			return nil, fmt.Errorf("verify: writing artifacts: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Stop drains the cluster gracefully: no new tasks are leased, in-flight
+// results are merged, a final checkpoint is written (if configured) and Wait
+// returns the partial result. The SIGTERM path.
+func (c *Coordinator) Stop() { c.c.Stop() }
+
+// Status returns a live snapshot of the exploration.
+func (c *Coordinator) Status() dcoord.Status { return c.c.Status() }
+
+// StatusHandler returns the coordinator's HTTP observability surface:
+// /status (JSON) and /metrics (Prometheus text).
+func (c *Coordinator) StatusHandler() http.Handler { return c.c.StatusHandler() }
+
+// Worker is the worker side of a distributed verification.
+type Worker struct {
+	w *dcoord.Worker
+}
+
+// Join creates a worker for the coordinator at cfg.Addr, replaying the given
+// program. Run blocks until the exploration is done (nil), the worker is
+// stopped (nil), or the coordinator rejects or disappears (error). The
+// program must be the same workload the coordinator serves — the handshake
+// enforces the name and every exploration parameter.
+func Join(cfg ClusterConfig, program func(p *mpi.Proc) error) (*Worker, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("verify: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	if program == nil {
+		return nil, fmt.Errorf("verify: nil program")
+	}
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("verify: distributed verification requires a Workload name")
+	}
+	w := dcoord.NewWorker(dcoord.WorkerConfig{
+		Addr:        cfg.Addr,
+		Name:        cfg.WorkerName,
+		Slots:       cfg.Slots,
+		Fingerprint: cfg.fingerprint(),
+		Explorer:    cfg.explorerConfig(program),
+		OnEvent:     cfg.OnEvent,
+	})
+	return &Worker{w: w}, nil
+}
+
+// Run joins the coordinator and replays tasks until done or stopped.
+func (w *Worker) Run() error { return w.w.Run() }
+
+// Stop drains gracefully: in-flight replays finish and deliver their
+// results, then Run returns. The SIGTERM path.
+func (w *Worker) Stop() { w.w.Stop() }
