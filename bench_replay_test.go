@@ -35,10 +35,24 @@ const (
 	prePRADLBW8PerSec        = 3330.0
 )
 
+// Pre-work-stealing numbers: the committed BENCH_replay.json at the commit
+// before the per-worker-deque engine landed (single-P runs on the reference
+// machine), kept so the stealing engine's effect stays visible next to the
+// fresh numbers.
+const (
+	preStealingMatmulW1PerSec = 12200.7
+	preStealingMatmulW8PerSec = 8465.5
+	preStealingADLBW1PerSec   = 13172.9
+	preStealingADLBW8PerSec   = 8402.9
+)
+
 type replayRate struct {
 	Interleavings int     `json:"interleavings"`
 	Millis        float64 `json:"millis"`
 	PerSecond     float64 `json:"per_second"`
+	// GOMAXPROCS is the P count the section ran under (parallel sections are
+	// pinned to min(workers, NumCPU); see parallelProcs).
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 type pingPongStats struct {
@@ -49,7 +63,15 @@ type pingPongStats struct {
 
 type replayBaseline struct {
 	GeneratedBy string `json:"generated_by"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// NumCPU is the machine's core count; parallel throughput only means
+	// anything relative to it (workers beyond NumCPU cannot add wall-clock
+	// speed, only contention).
+	NumCPU int `json:"num_cpu"`
+	// SerialGOMAXPROCS is the P count for the serial sections (pingpong,
+	// workers=1, slowdown); ParallelGOMAXPROCS is the P count the widest
+	// (workers=8) section was pinned to.
+	SerialGOMAXPROCS   int `json:"serial_gomaxprocs"`
+	ParallelGOMAXPROCS int `json:"parallel_gomaxprocs"`
 
 	// PingPong is the raw runtime message-matching floor (2 msgs/op).
 	PingPong pingPongStats `json:"pingpong"`
@@ -66,6 +88,12 @@ type replayBaseline struct {
 		MatmulW8PerSecond float64       `json:"matmul_workers8_per_second"`
 		ADLBW8PerSecond   float64       `json:"adlb_workers8_per_second"`
 	} `json:"pre_overhaul_baseline"`
+	PreStealing struct {
+		MatmulW1PerSecond float64 `json:"matmul_workers1_per_second"`
+		MatmulW8PerSecond float64 `json:"matmul_workers8_per_second"`
+		ADLBW1PerSecond   float64 `json:"adlb_workers1_per_second"`
+		ADLBW8PerSecond   float64 `json:"adlb_workers8_per_second"`
+	} `json:"pre_stealing_baseline"`
 	Speedup struct {
 		MatmulW8        float64 `json:"matmul_workers8"`
 		ADLBW8          float64 `json:"adlb_workers8"`
@@ -141,20 +169,40 @@ func timeExplore(b *testing.B, cfg verify.Config, prog func(*mpi.Proc) error, re
 				Interleavings: res.Interleavings,
 				Millis:        float64(el.Microseconds()) / 1000,
 				PerSecond:     rate,
+				GOMAXPROCS:    runtime.GOMAXPROCS(0),
 			}
 		}
 	}
 	return best
 }
 
+// parallelProcs is the P count a workers-wide section is pinned to: at least
+// the serial setting, raised toward the worker count but never past NumCPU —
+// Ps beyond physical cores add scheduler churn, not parallelism, so on a
+// machine with >= workers cores this yields GOMAXPROCS >= workers and on a
+// smaller machine it honestly reports what the hardware can do.
+func parallelProcs(workers, serial int) int {
+	p := workers
+	if n := runtime.NumCPU(); p > n {
+		p = n
+	}
+	if p < serial {
+		p = serial
+	}
+	return p
+}
+
 func BenchmarkReplayBaseline(b *testing.B) {
 	// The emitter self-times one full measurement pass per invocation and
 	// ignores b.N; run it with -benchtime=1x (as the CI smoke step does).
+	serialProcs := runtime.GOMAXPROCS(0)
 	out := replayBaseline{
-		GeneratedBy: "go test -run=NONE -bench=ReplayBaseline -benchtime=1x .",
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Matmul:      map[string]replayRate{},
-		ADLB:        map[string]replayRate{},
+		GeneratedBy:        "go test -run=NONE -bench=ReplayBaseline -benchtime=1x .",
+		NumCPU:             runtime.NumCPU(),
+		SerialGOMAXPROCS:   serialProcs,
+		ParallelGOMAXPROCS: parallelProcs(8, serialProcs),
+		Matmul:             map[string]replayRate{},
+		ADLB:               map[string]replayRate{},
 	}
 
 	// Raw runtime floor. testing.Benchmark deadlocks when nested inside a
@@ -162,17 +210,23 @@ func BenchmarkReplayBaseline(b *testing.B) {
 	// BenchmarkRuntime_PingPong and reads MemStats around it.
 	out.PingPong = measurePingPong(b, 20000)
 
-	// Replay throughput at the tracked pool sizes.
+	// Replay throughput at the tracked pool sizes. Parallel sections pin
+	// GOMAXPROCS so a multi-worker pool actually gets the Ps it needs (the go
+	// test default follows the invoking environment, which on CI runners is
+	// often 1): without this, workers=8 measures lock traffic on one P, not
+	// parallel replay.
 	mm := matmul.Program(matmul.Config{})
 	al := adlb.Program(adlb.DriverConfig{})
 	for _, workers := range []int{1, 4, 8} {
 		key := fmt.Sprintf("workers=%d", workers)
+		prev := runtime.GOMAXPROCS(parallelProcs(workers, serialProcs))
 		out.Matmul[key] = timeExplore(b, verify.Config{
 			Procs: 8, MaxInterleavings: 2000, Workers: workers,
 		}, mm, 3)
 		out.ADLB[key] = timeExplore(b, verify.Config{
 			Procs: 8, MixingBound: 1, MaxInterleavings: 2000, Workers: workers,
 		}, al, 3)
+		runtime.GOMAXPROCS(prev)
 	}
 
 	// Native-vs-DAMPI slowdown on a deterministic program.
@@ -208,6 +262,10 @@ func BenchmarkReplayBaseline(b *testing.B) {
 	}
 	out.PrePR.MatmulW8PerSecond = prePRMatmulW8PerSec
 	out.PrePR.ADLBW8PerSecond = prePRADLBW8PerSec
+	out.PreStealing.MatmulW1PerSecond = preStealingMatmulW1PerSec
+	out.PreStealing.MatmulW8PerSecond = preStealingMatmulW8PerSec
+	out.PreStealing.ADLBW1PerSecond = preStealingADLBW1PerSec
+	out.PreStealing.ADLBW8PerSecond = preStealingADLBW8PerSec
 	out.Speedup.MatmulW8 = out.Matmul["workers=8"].PerSecond / prePRMatmulW8PerSec
 	out.Speedup.ADLBW8 = out.ADLB["workers=8"].PerSecond / prePRADLBW8PerSec
 	out.Speedup.PingPongAllocs = prePRPingPongAllocsPerOp / float64(out.PingPong.AllocsPerOp)

@@ -1,0 +1,91 @@
+// benchdiff compares a freshly generated BENCH_replay.json against the
+// committed baseline and fails (exit 1) when replay throughput at the
+// tracked pool sizes regressed beyond a threshold. CI runs it right after
+// the benchmark smoke step:
+//
+//	go run ./ci/benchdiff -old bench_committed.json -new BENCH_replay.json
+//
+// Only the workers=1 and workers=8 rates are gated: workers=1 is the
+// per-replay hot path, workers=8 the full pool. The threshold is generous
+// (30%) because shared CI runners are noisy; the point is to catch a change
+// that reintroduces a serializing lock, not a 5% wobble.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type rate struct {
+	PerSecond float64 `json:"per_second"`
+}
+
+type baseline struct {
+	NumCPU int             `json:"num_cpu"`
+	Matmul map[string]rate `json:"matmul"`
+	ADLB   map[string]rate `json:"adlb"`
+}
+
+func load(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "committed baseline JSON")
+	newPath := flag.String("new", "BENCH_replay.json", "freshly generated JSON")
+	threshold := flag.Float64("threshold", 0.30, "max allowed fractional throughput drop")
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old is required")
+		os.Exit(2)
+	}
+
+	oldB, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newB, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	check := func(workload, key string, oldM, newM map[string]rate) {
+		o, okO := oldM[key]
+		n, okN := newM[key]
+		if !okO || !okN || o.PerSecond <= 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s %s missing from one side; skipping\n", workload, key)
+			return
+		}
+		drop := 1 - n.PerSecond/o.PerSecond
+		status := "ok"
+		if drop > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-7s %-10s committed %9.1f/s  fresh %9.1f/s  change %+6.1f%%  %s\n",
+			workload, key, o.PerSecond, n.PerSecond, -drop*100, status)
+	}
+	for _, key := range []string{"workers=1", "workers=8"} {
+		check("matmul", key, oldB.Matmul, newB.Matmul)
+		check("adlb", key, oldB.ADLB, newB.ADLB)
+	}
+	fmt.Printf("cores: committed run %d, this run %d (cross-machine deltas are informational)\n",
+		oldB.NumCPU, newB.NumCPU)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: replay throughput regressed more than %.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+}

@@ -305,6 +305,7 @@ type RunContext struct {
 	tool      *Tool
 	toolHooks *mpi.Hooks // cached stack when no extra hook layers are present
 	hints     mpi.SizeHints
+	pools     *mpi.Pools // per-rank allocation freelists, reused across runs
 }
 
 // NewRunContext creates a replay slot for cfg. The config pointer is
@@ -348,7 +349,10 @@ func (rc *RunContext) Run(decisions *Decisions) (*RunTrace, *InterleavingResult,
 	} else {
 		hooks = pnmpi.Stack(append([]*mpi.Hooks{rc.tool.Hooks()}, extra...)...)
 	}
-	world := mpi.NewWorld(mpi.Config{Procs: cfg.Procs, Hooks: hooks, Hints: rc.hints})
+	if rc.pools == nil {
+		rc.pools = mpi.NewPools(cfg.Procs)
+	}
+	world := mpi.NewWorld(mpi.Config{Procs: cfg.Procs, Hooks: hooks, Hints: rc.hints, Pools: rc.pools})
 	runErr := world.Run(cfg.Program)
 	rc.hints = world.Hints()
 	trace := rc.tool.Trace()

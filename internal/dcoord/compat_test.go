@@ -117,6 +117,36 @@ func TestJoinRejectsWrongProtocol(t *testing.T) {
 	}
 }
 
+// TestJoinRejectsOldProtocolV1: a worker from before the batched-lease task
+// frame (protocol 1) is refused at hello with an error naming both versions.
+// A v1 worker decoding a v2 task frame would see no task at all and silently
+// idle while its leases expired, so the pairing must fail loudly instead.
+func TestJoinRejectsOldProtocolV1(t *testing.T) {
+	fp := baseFingerprint()
+	c, addr := startCoordinator(t, Config{Fingerprint: fp, LeaseTTL: time.Second})
+	defer c.Stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &frame{Type: msgHello, Proto: 1, Worker: "legacy", Slots: 1, Fingerprint: &fp}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	fr, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != msgReject {
+		t.Fatalf("v1 worker got %s frame, want reject", fr.Type)
+	}
+	if !strings.Contains(fr.Reason, "protocol version 1") || !strings.Contains(fr.Reason, "2") {
+		t.Errorf("reject reason %q does not name both protocol versions", fr.Reason)
+	}
+}
+
 // TestResumeRejectsEachMismatch: a coordinator resuming a checkpoint under
 // different exploration parameters must fail with a clear error, field by
 // field — the frontier's decision prefixes are only meaningful in the space

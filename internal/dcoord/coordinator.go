@@ -36,6 +36,13 @@ type Config struct {
 	// lease loss before the exploration aborts (a poison task must not loop
 	// forever). Default 3.
 	MaxRedeliveries int
+	// LeaseBatch is the extra leases granted to each worker beyond its slot
+	// count: the prefetch depth that keeps a worker's next tasks in flight
+	// while every slot is replaying, hiding one network round trip per task.
+	// 0 means one extra lease per slot (double buffering); negative disables
+	// prefetch (at most one lease per slot). Each batched task keeps its own
+	// lease, so expiry, requeue and dedup are unchanged.
+	LeaseBatch int
 	// CheckpointPath, if non-empty, receives a frontier checkpoint (the
 	// dexplore.Checkpoint format) every CheckpointEvery completions and at
 	// the end, so a killed coordinator resumes with Resume.
@@ -411,8 +418,22 @@ func (c *Coordinator) renewLeases(w *workerConn) {
 	c.mu.Unlock()
 }
 
-// dispatch hands frontier tasks to workers with free slots. Frame writes
-// happen outside c.mu; a failed write drops the worker (which requeues).
+// leaseCapacity is how many leases a worker may hold at once: its slots plus
+// the configured prefetch depth.
+func (c *Coordinator) leaseCapacity(w *workerConn) int {
+	switch batch := c.cfg.LeaseBatch; {
+	case batch > 0:
+		return w.slots + batch
+	case batch < 0:
+		return w.slots
+	default:
+		return 2 * w.slots
+	}
+}
+
+// dispatch hands frontier tasks to workers with free lease capacity, one
+// batched frame per worker per round. Frame writes happen outside c.mu; a
+// failed write drops the worker (which requeues every batched lease).
 func (c *Coordinator) dispatch() {
 	type send struct {
 		w  *workerConn
@@ -423,7 +444,8 @@ func (c *Coordinator) dispatch() {
 	c.mu.Lock()
 	if !c.stopped && c.runErr == nil && !c.finished {
 		for w := range c.workers {
-			for w.active < w.slots {
+			var batch []wireTask
+			for capacity := c.leaseCapacity(w); w.active < capacity; {
 				if max := c.cfg.MaxInterleavings; max > 0 && c.report.Interleavings+len(c.leases) >= max {
 					break
 				}
@@ -442,12 +464,10 @@ func (c *Coordinator) dispatch() {
 				}
 				c.leases[l.id] = l
 				w.active++
-				sends = append(sends, send{w: w, fr: &frame{
-					Type:  msgTask,
-					Lease: l.id,
-					Task:  t,
-					Root:  t.Decisions == nil,
-				}})
+				batch = append(batch, wireTask{Lease: l.id, Task: t, Root: t.Decisions == nil})
+			}
+			if len(batch) > 0 {
+				sends = append(sends, send{w: w, fr: &frame{Type: msgTask, Tasks: batch}})
 			}
 		}
 	}

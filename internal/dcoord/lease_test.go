@@ -13,8 +13,9 @@ import (
 // replays, giving tests direct control over heartbeats, silence, stale
 // results and abrupt exits.
 type fakeWorker struct {
-	t    *testing.T
-	conn net.Conn
+	t       *testing.T
+	conn    net.Conn
+	pending []wireTask // tasks unpacked from batched frames, not yet consumed
 }
 
 // dialFake joins addr with the given fingerprint and returns after the
@@ -52,15 +53,19 @@ func (f *fakeWorker) recv() *frame {
 	return fr
 }
 
-// recvTask reads frames until a task arrives.
-func (f *fakeWorker) recvTask() *frame {
+// recvTask returns the next leased task, reading (batched) task frames as
+// needed.
+func (f *fakeWorker) recvTask() wireTask {
 	f.t.Helper()
-	for {
+	for len(f.pending) == 0 {
 		fr := f.recv()
 		if fr.Type == msgTask {
-			return fr
+			f.pending = append(f.pending, fr.Tasks...)
 		}
 	}
+	wt := f.pending[0]
+	f.pending = f.pending[1:]
+	return wt
 }
 
 func (f *fakeWorker) close() { f.conn.Close() }

@@ -31,8 +31,11 @@ import (
 )
 
 // protoVersion guards the frame format; a worker with a different protocol
-// version is rejected at handshake.
-const protoVersion = 1
+// version is rejected at handshake. Version 2 replaced the task frame's
+// single lease/task/root fields with a batch of wire tasks, so a v1 worker
+// would silently drop every lease a v2 coordinator granted it (and vice
+// versa) — the handshake refuses the pairing instead.
+const protoVersion = 2
 
 // maxFrameSize bounds a single frame (a frontier expansion or the root
 // trace can be large, but anything beyond this is a corrupt stream).
@@ -49,7 +52,7 @@ const (
 	// msgReject refuses a hello (fingerprint or protocol mismatch). The
 	// worker must not retry: the mismatch is permanent.
 	msgReject = "reject"
-	// msgTask leases one subtree task to the worker.
+	// msgTask leases a batch of subtree tasks to the worker.
 	msgTask = "task"
 	// msgResult returns a completed task's outcome and expansion.
 	msgResult = "result"
@@ -78,13 +81,21 @@ type frame struct {
 	// welcome
 	LeaseTTLMillis int64 `json:"lease_ttl_ms,omitempty"`
 
-	// task
-	Lease uint64            `json:"lease,omitempty"`
-	Task  *core.SubtreeTask `json:"task,omitempty"`
-	Root  bool              `json:"root,omitempty"`
+	// task: a batch of individually-leased subtree tasks. Batching lets a
+	// worker prefetch its next replays while every slot is busy, halving the
+	// round trips per task; each element still carries its own lease so
+	// expiry, requeue and dedup stay per-task.
+	Tasks []wireTask `json:"tasks,omitempty"`
 
 	// result
 	Result *WireResult `json:"result,omitempty"`
+}
+
+// wireTask is one leased task inside a batched task frame.
+type wireTask struct {
+	Lease uint64            `json:"lease"`
+	Task  *core.SubtreeTask `json:"task"`
+	Root  bool              `json:"root,omitempty"`
 }
 
 // WireResult is one completed replay in wire form: the interleaving outcome

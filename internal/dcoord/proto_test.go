@@ -19,7 +19,10 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: msgHello, Proto: protoVersion, Worker: "w1", Slots: 4, Fingerprint: &fp},
 		{Type: msgWelcome, LeaseTTLMillis: 10000},
 		{Type: msgReject, Reason: "dcoord: procs mismatch"},
-		{Type: msgTask, Lease: 42, Task: task, Root: false},
+		{Type: msgTask, Tasks: []wireTask{
+			{Lease: 41, Task: &core.SubtreeTask{Budget: core.Unbounded, Explorable: true}, Root: true},
+			{Lease: 42, Task: task},
+		}},
 		{Type: msgHeartbeat, Worker: "w1"},
 		{Type: msgDone},
 		{Type: msgResult, Result: &WireResult{
@@ -45,14 +48,20 @@ func TestFrameRoundTrip(t *testing.T) {
 			}
 			if out.Type != in.Type || out.Proto != in.Proto || out.Worker != in.Worker ||
 				out.Slots != in.Slots || out.Reason != in.Reason ||
-				out.LeaseTTLMillis != in.LeaseTTLMillis || out.Lease != in.Lease || out.Root != in.Root {
+				out.LeaseTTLMillis != in.LeaseTTLMillis {
 				t.Errorf("scalar fields changed: %+v -> %+v", in, out)
 			}
 			if in.Fingerprint != nil && *out.Fingerprint != *in.Fingerprint {
 				t.Errorf("fingerprint changed: %+v -> %+v", *in.Fingerprint, *out.Fingerprint)
 			}
-			if in.Task != nil && taskKey(out.Task) != taskKey(in.Task) {
-				t.Errorf("task key changed: %s -> %s", taskKey(in.Task), taskKey(out.Task))
+			if len(out.Tasks) != len(in.Tasks) {
+				t.Fatalf("task batch length changed: %d -> %d", len(in.Tasks), len(out.Tasks))
+			}
+			for i := range in.Tasks {
+				if out.Tasks[i].Lease != in.Tasks[i].Lease || out.Tasks[i].Root != in.Tasks[i].Root ||
+					taskKey(out.Tasks[i].Task) != taskKey(in.Tasks[i].Task) {
+					t.Errorf("batched task %d changed: %+v -> %+v", i, in.Tasks[i], out.Tasks[i])
+				}
 			}
 			if in.Result != nil {
 				if out.Result.Key != in.Result.Key || out.Result.ErrMsg != in.Result.ErrMsg ||
@@ -103,17 +112,18 @@ func TestTaskKeyDistinguishesPrefixes(t *testing.T) {
 		t.Fatalf("distinct prefixes share key %q", taskKey(a))
 	}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, &frame{Type: msgTask, Lease: 1, Task: a}); err != nil {
+	if err := writeFrame(&buf, &frame{Type: msgTask, Tasks: []wireTask{{Lease: 1, Task: a}}}); err != nil {
 		t.Fatal(err)
 	}
 	fr, err := readFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if taskKey(fr.Task) != taskKey(a) {
-		t.Errorf("key unstable across codec: %q -> %q", taskKey(a), taskKey(fr.Task))
+	got := fr.Tasks[0].Task
+	if taskKey(got) != taskKey(a) {
+		t.Errorf("key unstable across codec: %q -> %q", taskKey(a), taskKey(got))
 	}
-	if !reflect.DeepEqual(fr.Task.Budget, a.Budget) || fr.Task.Explorable != a.Explorable {
-		t.Errorf("task fields changed: %+v -> %+v", a, fr.Task)
+	if !reflect.DeepEqual(got.Budget, a.Budget) || got.Explorable != a.Explorable {
+		t.Errorf("task fields changed: %+v -> %+v", a, got)
 	}
 }

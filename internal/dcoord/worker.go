@@ -262,16 +262,19 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 	}()
 
 	// Slots: each owns a RunContext so tool state recycles across the
-	// replays it runs (same per-worker ownership as dexplore).
-	tasks := make(chan *frame)
+	// replays it runs (same per-worker ownership as dexplore). The channel
+	// buffer holds the coordinator's prefetch batch (it grants up to 2×slots
+	// leases by default), so the reader unpacks a whole task frame without
+	// blocking and a finishing slot starts its next replay with no round trip.
+	tasks := make(chan wireTask, 2*w.cfg.Slots)
 	var slotWG sync.WaitGroup
 	for i := 0; i < w.cfg.Slots; i++ {
 		slotWG.Add(1)
 		go func() {
 			defer slotWG.Done()
 			rc := core.NewRunContext(&w.cfg.Explorer)
-			for fr := range tasks {
-				res := w.execute(rc, fr)
+			for wt := range tasks {
+				res := w.execute(rc, wt)
 				if err := send(&frame{Type: msgResult, Result: res}); err != nil {
 					return // session is over; the lease will expire and requeue
 				}
@@ -311,10 +314,18 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 			done = true
 			break
 		}
-		if fr.Type == msgTask && fr.Task != nil {
-			select {
-			case tasks <- fr:
-			case <-w.stopCh:
+		if fr.Type == msgTask {
+			for _, wt := range fr.Tasks {
+				if wt.Task == nil {
+					continue
+				}
+				select {
+				case tasks <- wt:
+				case <-w.stopCh:
+				}
+				if w.halted() {
+					break
+				}
 			}
 			if w.halted() {
 				break
@@ -338,9 +349,9 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 // execute replays one leased task and builds its wire result: the
 // interleaving outcome, the subtree expansion, and (for the root task) the
 // self-discovery extras.
-func (w *Worker) execute(rc *core.RunContext, fr *frame) *WireResult {
-	t := fr.Task
-	out := &WireResult{Lease: fr.Lease, Key: taskKey(t)}
+func (w *Worker) execute(rc *core.RunContext, wt wireTask) *WireResult {
+	t := wt.Task
+	out := &WireResult{Lease: wt.Lease, Key: taskKey(t)}
 	trace, res, err := rc.Run(t.Decisions)
 	if err != nil {
 		out.Fatal = err.Error()
@@ -359,7 +370,7 @@ func (w *Worker) execute(rc *core.RunContext, fr *frame) *WireResult {
 		out.DecisionPoints = ex.DecisionPoints
 		out.AutoAbstracted = ex.AutoAbstracted
 	}
-	if fr.Root {
+	if wt.Root {
 		out.Root = &RootInfo{
 			WildcardsAnalyzed: len(trace.Epochs),
 			Unsafe:            trace.Unsafe,

@@ -63,8 +63,36 @@ type CheckpointError struct {
 	Decisions *core.Decisions `json:"decisions"`
 }
 
-// checkpointLocked snapshots the engine state. Caller holds e.mu.
-func (e *Engine) checkpointLocked() *Checkpoint {
+// snapshotCheckpoint gathers a consistent cut of the exploration via a brief
+// stop-the-world: every worker mutex is taken in ascending id order — the
+// same order thieves use when transferring a batch — so each pending task is
+// observed in exactly one deque or current slot, and each completed task in
+// exactly one accumulator. In-flight (current) tasks join the frontier:
+// resuming re-runs them, giving at-least-once coverage of every subtree.
+func (e *Engine) snapshotCheckpoint() *Checkpoint {
+	for _, w := range e.ws {
+		w.mu.Lock()
+	}
+	rep := e.gatherLocked()
+	var frontier []*core.SubtreeTask
+	for _, w := range e.ws {
+		frontier = append(frontier, w.tasks[w.head:]...)
+	}
+	// In-flight last: on resume the engine pops them (the deepest work at
+	// snapshot time) first.
+	for _, w := range e.ws {
+		if w.current != nil {
+			frontier = append(frontier, w.current)
+		}
+	}
+	for i := len(e.ws) - 1; i >= 0; i-- {
+		e.ws[i].mu.Unlock()
+	}
+	return e.buildCheckpoint(rep, frontier)
+}
+
+// buildCheckpoint serializes a gathered report plus frontier.
+func (e *Engine) buildCheckpoint(rep *core.Report, frontier []*core.SubtreeTask) *Checkpoint {
 	cfg := &e.cfg.Explorer
 	ckp := &Checkpoint{
 		Version:           checkpointVersion,
@@ -74,26 +102,21 @@ func (e *Engine) checkpointLocked() *Checkpoint {
 		Transport:         cfg.Transport,
 		MixingBound:       cfg.MixingBound,
 		AutoLoopThreshold: cfg.AutoLoopThreshold,
-		Interleavings:     e.report.Interleavings,
-		Deadlocks:         e.report.Deadlocks,
-		DecisionPoints:    e.report.DecisionPoints,
-		AutoAbstracted:    e.report.AutoAbstracted,
-		WildcardsAnalyzed: e.report.WildcardsAnalyzed,
-		Unsafe:            e.report.Unsafe,
-		FirstTrace:        e.report.FirstTrace,
+		Interleavings:     rep.Interleavings,
+		Deadlocks:         rep.Deadlocks,
+		DecisionPoints:    rep.DecisionPoints,
+		AutoAbstracted:    rep.AutoAbstracted,
+		WildcardsAnalyzed: rep.WildcardsAnalyzed,
+		Unsafe:            rep.Unsafe,
+		FirstTrace:        rep.FirstTrace,
+		Frontier:          frontier,
 	}
-	for _, res := range e.report.Errors {
+	for _, res := range rep.Errors {
 		ckp.Errors = append(ckp.Errors, &CheckpointError{
 			Message:   res.Err.Error(),
 			Deadlock:  res.Deadlock,
 			Decisions: res.Decisions,
 		})
-	}
-	// Pending first, then in-flight: on resume the engine pops in-flight
-	// subtrees (the deepest work at snapshot time) first.
-	ckp.Frontier = append(ckp.Frontier, e.frontier...)
-	for t := range e.inflight {
-		ckp.Frontier = append(ckp.Frontier, t)
 	}
 	return ckp
 }
@@ -133,22 +156,23 @@ func (e *Engine) seedFromCheckpoint(ckp *Checkpoint) error {
 	if err := ckp.Validate("", cfg); err != nil {
 		return err
 	}
-	e.report.Interleavings = ckp.Interleavings
-	e.report.Deadlocks = ckp.Deadlocks
-	e.report.DecisionPoints = ckp.DecisionPoints
-	e.report.AutoAbstracted = ckp.AutoAbstracted
-	e.report.WildcardsAnalyzed = ckp.WildcardsAnalyzed
-	e.report.Unsafe = ckp.Unsafe
-	e.report.FirstTrace = ckp.FirstTrace
+	e.base.Interleavings = ckp.Interleavings
+	e.base.Deadlocks = ckp.Deadlocks
+	e.base.DecisionPoints = ckp.DecisionPoints
+	e.base.AutoAbstracted = ckp.AutoAbstracted
+	e.base.WildcardsAnalyzed = ckp.WildcardsAnalyzed
+	e.base.Unsafe = ckp.Unsafe
+	e.base.FirstTrace = ckp.FirstTrace
 	for _, ce := range ckp.Errors {
-		e.report.Errors = append(e.report.Errors, &core.InterleavingResult{
+		e.base.Errors = append(e.base.Errors, &core.InterleavingResult{
 			Err:       errors.New(ce.Message),
 			Deadlock:  ce.Deadlock,
 			Decisions: ce.Decisions,
 		})
 	}
-	e.issued = ckp.Interleavings
-	e.frontier = append(e.frontier, ckp.Frontier...)
+	e.issued.Store(int64(ckp.Interleavings))
+	e.completed.Store(int64(ckp.Interleavings))
+	e.scatter(append([]*core.SubtreeTask(nil), ckp.Frontier...))
 	return nil
 }
 

@@ -8,11 +8,19 @@
 // with deterministic counts and error reproducers regardless of worker
 // scheduling.
 //
+// Scheduling is work-stealing: each worker owns a DFS deque, pushes its own
+// expansions at the deep end and pops them back LIFO, so the steady state
+// touches only the worker's own (uncontended) lock plus a handful of engine
+// atomics. A worker that runs dry steals the oldest — shallowest, and
+// therefore largest — half of a victim's deque. There is no engine-wide
+// mutex and no per-completion broadcast; idle workers park on a condition
+// variable and are woken only when new work actually appears.
+//
 // The frontier of pending tasks is periodically checkpointed to a JSON file
-// (reusing the core.Decisions round-trip format), so a killed exploration
-// resumes without redoing completed subtrees; see Checkpoint. A progress
-// callback reports live throughput: interleavings/sec, frontier depth and
-// busy workers.
+// (reusing the core.Decisions round-trip format) via a brief stop-the-world
+// over the deques, so a killed exploration resumes without redoing completed
+// subtrees; see Checkpoint. A progress callback reports live throughput:
+// interleavings/sec, frontier depth and busy workers.
 //
 // Cancellation is cooperative: MaxInterleavings stops issuing new replays
 // once the cap is reached, StopOnFirstError (and Stop) stop after the
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dampi/internal/core"
@@ -81,22 +90,39 @@ type Progress struct {
 // Explore; Stop cancels cooperatively from any goroutine (including an
 // OnInterleaving callback).
 type Engine struct {
-	cfg     Config
-	workers int
+	cfg Config
+	ws  []*worker
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	frontier []*core.SubtreeTask        // LIFO stack of pending tasks
-	inflight map[*core.SubtreeTask]bool // started, not yet merged
-	report   *core.Report
-	issued   int   // replays started (the MaxInterleavings ticket counter)
-	stopped  bool  // Stop() or StopOnFirstError fired
-	runErr   error // first fatal replay-harness error
-	sinceCkp int   // completions since the last checkpoint write
-	start    time.Time
-	rate     *RateTracker // sampled by snapshot(); guarded by mu
+	// Hot-path coordination is atomics only; there is no engine-wide mutex.
+	issued    atomic.Int64 // replay tickets taken (the MaxInterleavings budget)
+	completed atomic.Int64 // replays merged; drives Index and checkpoint cadence
+	pending   atomic.Int64 // tasks in deques or in flight; 0 means drained
+	stopped   atomic.Bool  // Stop() or StopOnFirstError fired
+	failed    atomic.Bool  // fatal replay-harness error recorded in runErr
 
-	cbMu sync.Mutex // serializes the OnInterleaving callback
+	errMu  sync.Mutex
+	runErr error
+
+	// Workers park here after a fruitless steal sweep. idlers is maintained
+	// under idleMu but read as an atomic hint by completers, so the
+	// work-plentiful path never touches idleMu at all (see complete).
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	idlers   atomic.Int32
+
+	// base holds the aggregates that live outside the per-worker
+	// accumulators: the root run's (or resumed checkpoint's) counts, the
+	// canonical first trace, unsafe reports and seed errors. Written before
+	// the pool starts, read-only afterwards.
+	base core.Report
+
+	report *core.Report // merged at finish; returned by Explore
+
+	ckpMu sync.Mutex // serializes periodic checkpoint snapshot+save pairs
+	cbMu  sync.Mutex // serializes the OnInterleaving callback
+
+	start time.Time
+	rate  *RateTracker // owned by the progress-monitor goroutine
 }
 
 // New creates an engine. Like core.NewExplorer it panics on a config without
@@ -109,14 +135,13 @@ func New(cfg Config) *Engine {
 		panic("dexplore: Config.Explorer.Program must be set")
 	}
 	e := &Engine{
-		cfg:      cfg,
-		workers:  cfg.Workers,
-		inflight: make(map[*core.SubtreeTask]bool),
-		report:   &core.Report{},
-		rate:     NewRateTracker(RateWindow),
+		cfg:    cfg,
+		report: &core.Report{},
+		rate:   NewRateTracker(RateWindow),
 	}
-	if e.workers < 1 {
-		e.workers = 1
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
 	}
 	if e.cfg.CheckpointEvery <= 0 {
 		e.cfg.CheckpointEvery = 32
@@ -124,7 +149,10 @@ func New(cfg Config) *Engine {
 	if e.cfg.ProgressEvery <= 0 {
 		e.cfg.ProgressEvery = time.Second
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.idleCond = sync.NewCond(&e.idleMu)
+	for i := 0; i < workers; i++ {
+		e.ws = append(e.ws, &worker{id: i, e: e})
+	}
 	return e
 }
 
@@ -133,10 +161,8 @@ func New(cfg Config) *Engine {
 // report (with a final checkpoint if CheckpointPath is set). Safe to call
 // from any goroutine, any number of times.
 func (e *Engine) Stop() {
-	e.mu.Lock()
-	e.stopped = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.stopped.Store(true)
+	e.wakeAll()
 }
 
 // Explore runs the exploration to completion (or cap, stop, resume
@@ -156,7 +182,8 @@ func (e *Engine) Explore() (*core.Report, error) {
 		return e.report, nil
 	}
 
-	// Progress monitor. Stopped via doneCh before Explore returns.
+	// Progress monitor. Stopped via doneCh before Explore returns. It is the
+	// sole caller of snapshot(), so the rate tracker needs no lock.
 	doneCh := make(chan struct{})
 	var monitorWG sync.WaitGroup
 	if e.cfg.OnProgress != nil {
@@ -177,20 +204,20 @@ func (e *Engine) Explore() (*core.Report, error) {
 	}
 
 	var wg sync.WaitGroup
-	for i := 0; i < e.workers; i++ {
+	for _, w := range e.ws {
 		wg.Add(1)
-		go func() {
+		go func(w *worker) {
 			defer wg.Done()
-			e.work()
-		}()
+			e.runWorker(w)
+		}(w)
 	}
 	wg.Wait()
 	close(doneCh)
 	monitorWG.Wait()
 
-	e.mu.Lock()
+	e.errMu.Lock()
 	err := e.runErr
-	e.mu.Unlock()
+	e.errMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -200,23 +227,35 @@ func (e *Engine) Explore() (*core.Report, error) {
 	return e.report, nil
 }
 
-// runRoot performs the initial self-discovery run and seeds the frontier.
-// It returns done=true when exploration must end immediately (deadlocked
-// initial run with StopOnFirstError, or a single-run cap with no work).
+// runRoot performs the initial self-discovery run and seeds the deques.
+// It returns done=true when exploration must end immediately (an erroring
+// initial run with StopOnFirstError).
 func (e *Engine) runRoot() (bool, error) {
 	root := core.RootTask(&e.cfg.Explorer)
-	tr, r, err := e.runTask(core.NewRunContext(&e.cfg.Explorer), root)
+	rc := core.NewRunContext(&e.cfg.Explorer)
+	e.ws[0].rc = rc // worker 0 inherits the warmed-up run context
+	tr, r, err := rc.Run(root.Decisions)
 	if err != nil {
 		return false, err
 	}
-	e.report.WildcardsAnalyzed = len(tr.Epochs)
-	e.report.Unsafe = tr.Unsafe
-	e.report.FirstTrace = tr
-	e.issued = 1
-	e.record(r)
+	e.base.WildcardsAnalyzed = len(tr.Epochs)
+	e.base.Unsafe = tr.Unsafe
+	e.base.FirstTrace = tr
+	e.base.Interleavings = 1
+	r.Index = 0
+	if r.Err != nil {
+		e.base.Errors = append(e.base.Errors, r)
+	}
+	if r.Deadlock {
+		e.base.Deadlocks++
+	}
+	e.issued.Store(1)
+	e.completed.Store(1)
 	if !r.Deadlock {
 		ex := root.Expand(&e.cfg.Explorer, tr)
-		e.merge(ex)
+		e.base.DecisionPoints += ex.DecisionPoints
+		e.base.AutoAbstracted += ex.AutoAbstracted
+		e.scatter(ex.Children)
 	}
 	if cb := e.cfg.Explorer.OnInterleaving; cb != nil {
 		cb(r)
@@ -227,148 +266,279 @@ func (e *Engine) runRoot() (bool, error) {
 	return false, nil
 }
 
-// runTask executes one replay through rc, which dispatches to the configured
-// runner (the test seam) when one is set.
-func (e *Engine) runTask(rc *core.RunContext, t *core.SubtreeTask) (*core.RunTrace, *core.InterleavingResult, error) {
-	return rc.Run(t.Decisions)
+// scatter seeds tasks round-robin across the worker deques (root expansion
+// and checkpoint resume — both before the pool starts, so plain pushes).
+func (e *Engine) scatter(ts []*core.SubtreeTask) {
+	if len(ts) == 0 {
+		return
+	}
+	e.pending.Add(int64(len(ts)))
+	n := len(e.ws)
+	for i, w := range e.ws {
+		var chunk []*core.SubtreeTask
+		for j := i; j < len(ts); j += n {
+			chunk = append(chunk, ts[j])
+		}
+		w.push(chunk)
+	}
 }
 
-// work is one worker's loop: pop, replay, merge, until no work remains or
-// cancellation fires. Each worker owns a RunContext so per-replay tool state
-// (hook stacks, clock buffers, mailbox size hints) is recycled across the
-// replays it runs instead of rebuilt from scratch.
-func (e *Engine) work() {
-	rc := core.NewRunContext(&e.cfg.Explorer)
+// runWorker is one worker's loop: pop (or steal), replay, merge, until no
+// work remains or cancellation fires. Each worker owns a RunContext so
+// per-replay tool state (hook stacks, clock buffers, mailbox size hints,
+// envelope/payload freelists) is recycled across the replays it runs instead
+// of rebuilt from scratch.
+func (e *Engine) runWorker(w *worker) {
+	if w.rc == nil {
+		w.rc = core.NewRunContext(&e.cfg.Explorer)
+	}
 	for {
-		t := e.next()
+		t := e.next(w)
 		if t == nil {
 			return
 		}
-		trace, res, err := e.runTask(rc, t)
-		e.complete(t, trace, res, err)
+		trace, res, err := w.rc.Run(t.Decisions)
+		e.complete(w, t, trace, res, err)
 	}
 }
 
-// next pops the deepest pending task, blocking while the frontier is empty
-// but replays are still in flight (their expansions may refill it). It
-// returns nil when the exploration is over for this worker: cancellation,
-// the interleaving cap, or global completion.
-func (e *Engine) next() *core.SubtreeTask {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// next returns the worker's next task: its own deepest pending task, or a
+// stolen one when its deque is dry. It parks while other workers still hold
+// in-flight tasks (their expansions may produce new work) and returns nil
+// when the exploration is over: cancellation, the interleaving cap, or
+// global completion.
+func (e *Engine) next(w *worker) *core.SubtreeTask {
 	for {
-		if e.stopped || e.runErr != nil {
+		if e.done() {
 			return nil
 		}
-		if max := e.cfg.Explorer.MaxInterleavings; max > 0 && e.issued >= max {
-			return nil
+		t := w.popOwn()
+		if t == nil {
+			t = e.steal(w)
 		}
-		if n := len(e.frontier); n > 0 {
-			t := e.frontier[n-1]
-			e.frontier = e.frontier[:n-1]
-			e.inflight[t] = true
-			e.issued++
+		if t != nil {
+			if !e.takeTicket() {
+				// Budget exhausted after the pop: put the task back so the
+				// final checkpoint still covers it, and wake parked workers
+				// so they observe the cap and exit.
+				w.unpop(t)
+				e.wakeAll()
+				return nil
+			}
 			return t
 		}
-		if len(e.inflight) == 0 {
+		if e.pending.Load() == 0 {
+			e.wakeAll()
 			return nil
 		}
-		e.cond.Wait()
+		// Park. The idlers increment is sequentially consistent with a
+		// completer's idlers check: either the completer sees us (and takes
+		// idleMu, serializing its broadcast against our Wait), or our
+		// increment came later in the total order than its deque publish and
+		// the re-scan below finds the new work.
+		e.idleMu.Lock()
+		e.idlers.Add(1)
+		if !e.done() && e.pending.Load() > 0 && !e.anyQueued() {
+			e.idleCond.Wait()
+		}
+		e.idlers.Add(-1)
+		e.idleMu.Unlock()
 	}
 }
 
-// complete merges one finished replay: accounts the result, expands the
-// subtree into child tasks, triggers cancellation and checkpoints, and wakes
-// waiting workers.
-func (e *Engine) complete(t *core.SubtreeTask, trace *core.RunTrace, res *core.InterleavingResult, err error) {
-	var ex *core.Expansion
-	if err == nil && !res.Deadlock {
-		// Expansion builds decision clones; keep it outside the lock.
-		ex = t.Expand(&e.cfg.Explorer, trace)
+// done reports a terminal state: cancellation, fatal error, or cap.
+func (e *Engine) done() bool {
+	if e.stopped.Load() || e.failed.Load() {
+		return true
 	}
+	max := e.cfg.Explorer.MaxInterleavings
+	return max > 0 && e.issued.Load() >= int64(max)
+}
 
-	e.mu.Lock()
-	delete(e.inflight, t)
+// anyQueued scans the deque size hints without locking.
+func (e *Engine) anyQueued() bool {
+	for _, w := range e.ws {
+		if w.size.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// steal sweeps the other workers (starting past the thief, so victims are
+// spread) and takes half of the first non-empty deque found.
+func (e *Engine) steal(thief *worker) *core.SubtreeTask {
+	n := len(e.ws)
+	for i := 1; i < n; i++ {
+		v := e.ws[(thief.id+i)%n]
+		if v.size.Load() == 0 {
+			continue
+		}
+		if t := v.stealInto(thief); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// takeTicket claims one replay against the MaxInterleavings budget.
+func (e *Engine) takeTicket() bool {
+	max := e.cfg.Explorer.MaxInterleavings
+	if max <= 0 {
+		e.issued.Add(1)
+		return true
+	}
+	for {
+		cur := e.issued.Load()
+		if cur >= int64(max) {
+			return false
+		}
+		if e.issued.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// wakeAll wakes every parked worker. Cold path only: completion with fresh
+// work checks the idlers hint first and skips this entirely when nobody is
+// parked.
+func (e *Engine) wakeAll() {
+	e.idleMu.Lock()
+	e.idleCond.Broadcast()
+	e.idleMu.Unlock()
+}
+
+// complete merges one finished replay into the worker's local accumulators,
+// pushes the subtree's children onto the worker's own deque, and triggers
+// cancellation, wakeups and checkpoints as needed. No shared lock is taken
+// unless workers are parked or a checkpoint is due.
+func (e *Engine) complete(w *worker, t *core.SubtreeTask, trace *core.RunTrace, res *core.InterleavingResult, err error) {
 	if err != nil {
+		e.errMu.Lock()
 		if e.runErr == nil {
 			e.runErr = err
 		}
-		e.cond.Broadcast()
-		e.mu.Unlock()
+		e.errMu.Unlock()
+		e.failed.Store(true)
+		w.mu.Lock()
+		w.current = nil
+		w.mu.Unlock()
+		e.wakeAll()
 		return
 	}
-	e.record(res)
-	if ex != nil {
-		e.merge(ex)
-	}
-	if e.cfg.Explorer.StopOnFirstError && res.Err != nil {
-		e.stopped = true
-	}
-	e.sinceCkp++
-	writeCkp := e.cfg.CheckpointPath != "" && e.sinceCkp >= e.cfg.CheckpointEvery
-	var ckp *Checkpoint
-	if writeCkp {
-		e.sinceCkp = 0
-		ckp = e.checkpointLocked()
-	}
-	cb := e.cfg.Explorer.OnInterleaving
-	e.cond.Broadcast()
-	e.mu.Unlock()
 
-	if ckp != nil {
-		// Best-effort: a failed periodic write must not kill the search.
-		_ = ckp.Save(e.cfg.CheckpointPath)
+	var ex *core.Expansion
+	if !res.Deadlock {
+		// Expansion builds decision clones; keep it outside any lock.
+		ex = t.Expand(&e.cfg.Explorer, trace)
 	}
-	if cb != nil {
-		// Serialized, but outside e.mu so the callback may call Stop.
+	children := 0
+	if ex != nil {
+		children = len(ex.Children)
+	}
+	// Publish the children to pending before they become stealable, so the
+	// pending count never undershoots: a thief finishing a stolen child must
+	// not drive pending to zero while its sibling still sits in our deque.
+	if children > 0 {
+		e.pending.Add(int64(children))
+	}
+	c := e.completed.Add(1)
+	res.Index = int(c) - 1
+
+	w.mu.Lock()
+	w.current = nil
+	w.interleavings++
+	if res.Deadlock {
+		w.deadlocks++
+	}
+	if res.Err != nil {
+		w.errors = append(w.errors, res)
+	}
+	if ex != nil {
+		w.decisionPoints += ex.DecisionPoints
+		w.autoAbstracted += ex.AutoAbstracted
+		w.tasks = append(w.tasks, ex.Children...)
+		w.size.Store(int32(len(w.tasks) - w.head))
+	}
+	w.mu.Unlock()
+
+	if e.cfg.Explorer.StopOnFirstError && res.Err != nil {
+		e.stopped.Store(true)
+		e.wakeAll()
+	}
+	if rem := e.pending.Add(-1); rem == 0 {
+		e.wakeAll()
+	} else if children > 0 && e.idlers.Load() != 0 {
+		e.wakeAll()
+	}
+
+	if path := e.cfg.CheckpointPath; path != "" && c%int64(e.cfg.CheckpointEvery) == 0 {
+		// Best-effort: a failed periodic write must not kill the search.
+		e.ckpMu.Lock()
+		_ = e.snapshotCheckpoint().Save(path)
+		e.ckpMu.Unlock()
+	}
+	if cb := e.cfg.Explorer.OnInterleaving; cb != nil {
+		// Serialized, and outside every engine lock so the callback may call
+		// Stop.
 		e.cbMu.Lock()
 		cb(res)
 		e.cbMu.Unlock()
 	}
 }
 
-// record accounts one interleaving's outcome. Caller holds e.mu (or is the
-// single-threaded root run).
-func (e *Engine) record(res *core.InterleavingResult) {
-	res.Index = e.report.Interleavings
-	e.report.Interleavings++
-	if res.Err != nil {
-		e.report.Errors = append(e.report.Errors, res)
+// gatherLocked sums the base aggregates and every worker's accumulators into
+// a fresh report. Caller holds all worker mutexes (stop-the-world) or has
+// joined the pool.
+func (e *Engine) gatherLocked() *core.Report {
+	rep := &core.Report{
+		Interleavings:     e.base.Interleavings,
+		Deadlocks:         e.base.Deadlocks,
+		DecisionPoints:    e.base.DecisionPoints,
+		AutoAbstracted:    e.base.AutoAbstracted,
+		WildcardsAnalyzed: e.base.WildcardsAnalyzed,
+		Unsafe:            e.base.Unsafe,
+		FirstTrace:        e.base.FirstTrace,
+		Errors:            append([]*core.InterleavingResult(nil), e.base.Errors...),
 	}
-	if res.Deadlock {
-		e.report.Deadlocks++
+	for _, w := range e.ws {
+		rep.Interleavings += w.interleavings
+		rep.Deadlocks += w.deadlocks
+		rep.DecisionPoints += w.decisionPoints
+		rep.AutoAbstracted += w.autoAbstracted
+		rep.Errors = append(rep.Errors, w.errors...)
 	}
-}
-
-// merge folds one expansion into the frontier and report. Children arrive in
-// depth-first order and are pushed so the deepest epoch's first alternate is
-// popped next, mirroring the serial DFS. Caller holds e.mu (or is the
-// single-threaded root run).
-func (e *Engine) merge(ex *core.Expansion) {
-	e.report.DecisionPoints += ex.DecisionPoints
-	e.report.AutoAbstracted += ex.AutoAbstracted
-	e.frontier = append(e.frontier, ex.Children...)
+	return rep
 }
 
 // finish computes the terminal report state — the cap flag and a
 // deterministic error order (completion order is scheduling-dependent, so
 // errors sort by their reproducer signature) — and writes the final
-// checkpoint.
+// checkpoint. Called after the pool has joined; the worker locks are taken
+// anyway so a straggling monitor snapshot stays race-free.
 func (e *Engine) finish() error {
-	e.mu.Lock()
+	for _, w := range e.ws {
+		w.mu.Lock()
+	}
+	rep := e.gatherLocked()
+	var leftovers []*core.SubtreeTask
+	for _, w := range e.ws {
+		leftovers = append(leftovers, w.tasks[w.head:]...)
+	}
+	for i := len(e.ws) - 1; i >= 0; i-- {
+		e.ws[i].mu.Unlock()
+	}
+
+	*e.report = *rep
 	max := e.cfg.Explorer.MaxInterleavings
-	if max > 0 && e.report.Interleavings >= max && len(e.frontier) > 0 {
+	if max > 0 && e.report.Interleavings >= max && len(leftovers) > 0 {
 		e.report.Capped = true
 	}
 	sort.SliceStable(e.report.Errors, func(i, j int) bool {
 		return e.report.Errors[i].Decisions.String() < e.report.Errors[j].Decisions.String()
 	})
-	var ckp *Checkpoint
 	if e.cfg.CheckpointPath != "" {
-		ckp = e.checkpointLocked()
-	}
-	e.mu.Unlock()
-	if ckp != nil {
+		ckp := e.buildCheckpoint(e.report, leftovers)
 		if err := ckp.Save(e.cfg.CheckpointPath); err != nil {
 			return fmt.Errorf("dexplore: writing final checkpoint: %w", err)
 		}
@@ -376,30 +546,38 @@ func (e *Engine) finish() error {
 	return nil
 }
 
-// snapshot builds a Progress under the lock, feeding the sliding-window rate
-// tracker one sample per call (the progress monitor drives it at
-// ProgressEvery granularity).
+// snapshot builds a Progress. Called only from the monitor goroutine, which
+// solely owns the rate tracker; worker counters are read one lock at a time
+// (a slightly torn total is fine for a throughput display).
 func (e *Engine) snapshot() Progress {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	now := time.Now()
 	elapsed := now.Sub(e.start)
+	total := int(e.completed.Load())
+	depth, busy := 0, 0
+	for _, w := range e.ws {
+		depth += int(w.size.Load())
+		w.mu.Lock()
+		if w.current != nil {
+			busy++
+		}
+		w.mu.Unlock()
+	}
 	mean := 0.0
 	if s := elapsed.Seconds(); s > 0 {
-		mean = float64(e.report.Interleavings) / s
+		mean = float64(total) / s
 	}
-	window, ok := e.rate.Rate(now, e.report.Interleavings)
+	window, ok := e.rate.Rate(now, total)
 	if !ok {
 		window = mean
 	}
-	e.rate.Observe(now, e.report.Interleavings)
+	e.rate.Observe(now, total)
 	return Progress{
-		Interleavings:   e.report.Interleavings,
+		Interleavings:   total,
 		PerSecond:       mean,
 		WindowPerSecond: window,
 		WindowValid:     ok,
-		FrontierDepth:   len(e.frontier),
-		Busy:            len(e.inflight),
+		FrontierDepth:   depth,
+		Busy:            busy,
 		Elapsed:         elapsed,
 	}
 }

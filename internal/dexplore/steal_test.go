@@ -1,0 +1,122 @@
+package dexplore
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dampi/internal/core"
+	"dampi/workloads/matmul"
+)
+
+// TestSnapshotDuringStealing: live stop-the-world snapshots taken while a
+// 4-worker engine is actively replaying and stealing never lose a task.
+// stealInto holds both deque locks for the whole transfer and
+// snapshotCheckpoint locks every deque in the same ascending order, so a
+// snapshot can never observe a task in neither deque mid-steal. This drives
+// that guarantee end to end: for every mid-run snapshot, the interleavings
+// already counted in the snapshot plus the ones reachable from its frontier
+// must cover exactly what the uninterrupted run covers. Under -race this also
+// exercises the lock protocol itself.
+func TestSnapshotDuringStealing(t *testing.T) {
+	memo := newMemoRunner()
+	cfg := core.ExplorerConfig{Procs: 6, Program: matmul.Program(matmul.Config{}), Runner: memo.Run}
+	full := runParallel(t, cfg, 4)
+	if full.rep.Interleavings < 20 {
+		t.Fatalf("fixture too small: %d interleavings", full.rep.Interleavings)
+	}
+
+	// Stretch each (memoized) replay slightly so the snapshot loop below
+	// lands many cuts mid-exploration, between steals.
+	scfg := cfg
+	scfg.Runner = func(c *core.ExplorerConfig, d *core.Decisions) (*core.RunTrace, *core.InterleavingResult, error) {
+		time.Sleep(50 * time.Microsecond)
+		return memo.Run(c, d)
+	}
+	// The engine's base aggregates are written by the root run and read-only
+	// once the pool starts; snapshots are only legal after that point (the
+	// engine itself snapshots from complete()). The root's OnInterleaving
+	// callback fires after the base writes and the deque seeding, so it gates
+	// the snapshot loop.
+	rootDone := make(chan struct{})
+	var rootOnce sync.Once
+	scfg.OnInterleaving = func(*core.InterleavingResult) { rootOnce.Do(func() { close(rootDone) }) }
+	e := New(Config{Explorer: scfg, Workers: 4})
+	type outcome struct {
+		rep *core.Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rep, err := e.Explore()
+		ch <- outcome{rep: rep, err: err}
+	}()
+
+	<-rootDone
+	var snaps []*Checkpoint
+	var out outcome
+collect:
+	for {
+		select {
+		case out = <-ch:
+			break collect
+		default:
+			snaps = append(snaps, e.snapshotCheckpoint())
+			runtime.Gosched()
+		}
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if got, want := out.rep.Interleavings, full.rep.Interleavings; got != want {
+		t.Fatalf("run under concurrent snapshots explored %d interleavings, want %d", got, want)
+	}
+
+	// Keep the genuinely mid-run snapshots: work both completed and pending.
+	var mid []*Checkpoint
+	for _, s := range snaps {
+		if s.Interleavings > 0 && s.Interleavings < full.rep.Interleavings && len(s.Frontier) > 0 {
+			mid = append(mid, s)
+		}
+	}
+	if len(mid) == 0 {
+		t.Fatalf("no mid-run snapshot caught (%d snapshots total): fixture finished too fast", len(snaps))
+	}
+
+	for _, idx := range []int{0, len(mid) / 2, len(mid) - 1} {
+		snap := mid[idx]
+		resumed := map[string]bool{}
+		rcfg := cfg
+		rcfg.OnInterleaving = func(res *core.InterleavingResult) { resumed[res.Decisions.String()] = true }
+		rrep, err := New(Config{Explorer: rcfg, Workers: 4, Resume: snap}).Explore()
+		if err != nil {
+			t.Fatalf("resume from snapshot at %d interleavings: %v", snap.Interleavings, err)
+		}
+		// At-least-once: completions counted in the snapshot plus resumed
+		// replays must reach the uninterrupted total.
+		if rrep.Interleavings < full.rep.Interleavings {
+			t.Errorf("snapshot at %d: resumed total %d < full %d (task lost mid-steal?)",
+				snap.Interleavings, rrep.Interleavings, full.rep.Interleavings)
+		}
+		// Every interleaving the resume did NOT cover must be accounted for by
+		// a completion before the snapshot — there were exactly
+		// snap.Interleavings of those.
+		missing := 0
+		for sig := range full.sigs {
+			if !resumed[sig] {
+				missing++
+			}
+		}
+		if missing > snap.Interleavings {
+			t.Errorf("snapshot at %d: %d interleavings neither completed before the snapshot nor reachable from its frontier",
+				snap.Interleavings, missing)
+		}
+		// And nothing outside the uninterrupted set ever appears.
+		for sig := range resumed {
+			if !full.sigs[sig] {
+				t.Errorf("snapshot at %d: resumed interleaving %s not in the uninterrupted run", snap.Interleavings, sig)
+			}
+		}
+	}
+}

@@ -61,9 +61,9 @@ func (m PMPI) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, er
 	req.comm = c
 	req.peer = dest
 	req.tag = tag
-	buf := append(getBuf(len(data)), data...)
+	buf := append(p.pool.getBuf(len(data)), data...)
 	req.data = buf
-	env := getEnv()
+	env := p.pool.getEnv()
 	env.src = c.localRank
 	env.tag = tag
 	env.data = buf
@@ -74,14 +74,16 @@ func (m PMPI) isend(dest, tag int, data []byte, c Comm, sync bool) (*Request, er
 		req.status = Status{Source: c.localRank, Tag: tag, Count: len(buf)}
 		req.done.Store(true)
 	}
-	w.deliver(c.info, dest, env)
+	w.deliver(c.info, dest, env, p)
 	return req, nil
 }
 
 // deliver matches env against the posted receives of (ci, dest) or queues it
 // as unexpected, holding only that mailbox's lock. Wakeups happen after the
-// lock is released (wake takes w.mu, which must not nest inside mb.mu).
-func (w *World) deliver(ci *commInfo, dest int, env *envelope) {
+// lock is released (wake takes w.mu, which must not nest inside mb.mu). by is
+// the proc whose goroutine is executing the call (the sender): a matched
+// envelope recycles into its freelist slot.
+func (w *World) deliver(ci *commInfo, dest int, env *envelope, by *Proc) {
 	mb := &ci.boxes[dest]
 	mb.mu.Lock()
 	for i, preq := range mb.posted {
@@ -90,7 +92,7 @@ func (w *World) deliver(ci *commInfo, dest int, env *envelope) {
 			rp := preq.proc
 			preq.completeRecv(env)
 			sp := w.completeSyncSend(env)
-			putEnv(env)
+			by.pool.putEnv(env)
 			mb.mu.Unlock()
 			w.wake(rp)
 			if sp != nil {
@@ -153,7 +155,7 @@ func (m PMPI) Irecv(src, tag int, c Comm) (*Request, error) {
 			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
 			req.completeRecv(env)
 			sp := w.completeSyncSend(env)
-			putEnv(env)
+			p.pool.putEnv(env)
 			mb.mu.Unlock()
 			if sp != nil {
 				w.wake(sp)

@@ -1,51 +1,104 @@
 package mpi
 
-import "sync"
-
 // Allocation pools for the message hot path. Envelopes and payload copies are
-// runtime-internal for most of their life, so both recycle through
-// package-level sync.Pools (shared across worlds: a replay-heavy exploration
-// reuses the same handful of objects across thousands of short-lived worlds).
-// Requests escape to the application and cannot be recycled; they are instead
-// slab-allocated per rank (see Proc.newRequest) so the allocator sees one
-// allocation per slab instead of one per request.
+// runtime-internal for most of their life and recycle through per-rank
+// freelists (Pools). Requests escape to the application and cannot be
+// recycled; they are instead slab-allocated per rank (see Proc.newRequest) so
+// the allocator sees one allocation per slab instead of one per request.
+//
+// The freelists are deliberately NOT sync.Pools: every access happens on the
+// goroutine currently executing the owning rank's program (gets in Isend on
+// the sender, puts in deliver on the sender, in Irecv and Request.Release on
+// the receiver), so no synchronization is needed at all — and unlike a
+// package-global sync.Pool, a replay engine running many explorations at once
+// never funnels every world's envelope traffic through shared per-P lists.
+// Objects migrate between rank slots over time (an envelope acquired by the
+// sender may be freed by the receiver); each slot is bounded by poolRankCap.
 
-var envPool = sync.Pool{New: func() any { return new(envelope) }}
+// poolRankCap bounds each rank's envelope and buffer freelists; beyond it,
+// freed objects are dropped for the GC. Steady-state replay traffic uses a
+// handful of objects per rank, so the cap only matters after a pathological
+// unexpected-queue burst.
+const poolRankCap = 128
 
-func getEnv() *envelope { return envPool.Get().(*envelope) }
+// Pools holds the per-rank freelists for one world at a time. A replay slot
+// (core.RunContext) owns one Pools and threads it through Config.Pools so the
+// warmed-up freelists survive across the thousands of short-lived worlds of
+// an exploration, without any cross-worker sharing.
+//
+// A Pools must not be used by two concurrently-running worlds: slot i is
+// touched only by the goroutine executing rank i, and two live worlds would
+// break that ownership.
+type Pools struct {
+	ranks []rankPool
+}
+
+// NewPools creates freelists for worlds of up to procs ranks (grown
+// automatically if a larger world attaches).
+func NewPools(procs int) *Pools {
+	pl := &Pools{}
+	pl.grow(procs)
+	return pl
+}
+
+// grow ensures at least n rank slots. Called from NewWorld, before any rank
+// goroutine exists.
+func (pl *Pools) grow(n int) {
+	if n > len(pl.ranks) {
+		ranks := make([]rankPool, n)
+		copy(ranks, pl.ranks)
+		pl.ranks = ranks
+	}
+}
+
+// rankPool is one rank's freelists. Owner-goroutine only; padded so adjacent
+// slots (owned by different goroutines) do not share a cache line.
+type rankPool struct {
+	envs []*envelope
+	bufs [][]byte
+	_    [16]byte // pad the two 24-byte slice headers to a 64-byte line
+}
+
+func (rp *rankPool) getEnv() *envelope {
+	if n := len(rp.envs); n > 0 {
+		e := rp.envs[n-1]
+		rp.envs[n-1] = nil
+		rp.envs = rp.envs[:n-1]
+		return e
+	}
+	return new(envelope)
+}
 
 // putEnv recycles a matched envelope. The payload buffer is NOT recycled
 // here: it has been handed to the receiving request.
-func putEnv(e *envelope) {
+func (rp *rankPool) putEnv(e *envelope) {
 	*e = envelope{}
-	envPool.Put(e)
+	if len(rp.envs) < poolRankCap {
+		rp.envs = append(rp.envs, e)
+	}
 }
 
-// bufPool recycles payload copy buffers. Only buffers explicitly returned
-// via Request.Release come back; in steady state the piggyback path (fixed
-// clock-sized messages at high rate) hits the pool on every send.
-var bufPool = sync.Pool{New: func() any { return new([]byte) }}
-
-// getBuf returns a zero-length buffer with capacity >= n.
-func getBuf(n int) []byte {
-	bp := bufPool.Get().(*[]byte)
-	if cap(*bp) >= n {
-		b := (*bp)[:0]
-		*bp = nil
-		bufPool.Put(bp)
-		return b
+// getBuf returns a zero-length buffer with capacity >= n. Only buffers
+// explicitly returned via Request.Release come back; in steady state the
+// piggyback path (fixed clock-sized messages at high rate) hits the freelist
+// on every send.
+func (rp *rankPool) getBuf(n int) []byte {
+	if k := len(rp.bufs); k > 0 {
+		b := rp.bufs[k-1]
+		rp.bufs[k-1] = nil
+		rp.bufs = rp.bufs[:k-1]
+		if cap(b) >= n {
+			return b
+		}
 	}
-	*bp = nil
-	bufPool.Put(bp)
 	return make([]byte, 0, n)
 }
 
-func putBuf(b []byte) {
-	if cap(b) == 0 {
+func (rp *rankPool) putBuf(b []byte) {
+	if cap(b) == 0 || len(rp.bufs) >= poolRankCap {
 		return
 	}
-	b = b[:0]
-	bufPool.Put(&b)
+	rp.bufs = append(rp.bufs, b[:0])
 }
 
 // reqSlabSize is the per-rank Request slab length. A held request pins at

@@ -27,6 +27,11 @@ type Proc struct {
 
 	reqSlab []Request // bump allocator for requests; owner-goroutine only
 
+	// pool is this rank's slot in the world's allocation freelists. Like
+	// reqSlab it is owner-goroutine only: every get/put happens on the
+	// goroutine currently executing this rank's program.
+	pool *rankPool
+
 	// ToolState is scratch space for the tool layer's per-rank module
 	// (DAMPI hangs its per-rank state here). The runtime never touches it.
 	ToolState any

@@ -72,7 +72,7 @@ func (r *Request) Release() {
 	if r.kind != KindRecv || !r.consumed || r.data == nil {
 		return
 	}
-	putBuf(r.data)
+	r.proc.pool.putBuf(r.data)
 	r.data = nil
 }
 

@@ -17,6 +17,10 @@ type Config struct {
 	// Hints pre-sizes runtime queues from a previous run's high-water marks
 	// (see World.Hints). Zero hints are always valid.
 	Hints SizeHints
+	// Pools supplies per-rank allocation freelists carried across worlds by a
+	// replay engine (see Pools). Nil means the world creates its own. A Pools
+	// must not be shared by two concurrently-running worlds.
+	Pools *Pools
 }
 
 // SizeHints carries observed queue high-water marks across runs so a replay
@@ -75,9 +79,15 @@ func NewWorld(cfg Config) *World {
 		members[i] = i
 	}
 	w.worldComm = w.newCommLocked("world", members)
+	pools := cfg.Pools
+	if pools == nil {
+		pools = NewPools(w.size)
+	} else {
+		pools.grow(w.size)
+	}
 	w.procs = make([]*Proc, w.size)
 	for i := 0; i < w.size; i++ {
-		p := &Proc{world: w, rank: i}
+		p := &Proc{world: w, rank: i, pool: &pools.ranks[i]}
 		p.cond = sync.NewCond(&w.mu)
 		p.pmpi = PMPI{p: p}
 		w.procs[i] = p
