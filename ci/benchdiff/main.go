@@ -23,9 +23,11 @@ type rate struct {
 }
 
 type baseline struct {
-	NumCPU int             `json:"num_cpu"`
-	Matmul map[string]rate `json:"matmul"`
-	ADLB   map[string]rate `json:"adlb"`
+	NumCPU           int             `json:"num_cpu"`
+	SerialGOMAXPROCS int             `json:"serial_gomaxprocs"`
+	ParGOMAXPROCS    int             `json:"parallel_gomaxprocs"`
+	Matmul           map[string]rate `json:"matmul"`
+	ADLB             map[string]rate `json:"adlb"`
 }
 
 func load(path string) (*baseline, error) {
@@ -85,7 +87,17 @@ func main() {
 	fmt.Printf("cores: committed run %d, this run %d (cross-machine deltas are informational)\n",
 		oldB.NumCPU, newB.NumCPU)
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: replay throughput regressed more than %.0f%%\n", *threshold*100)
+		// A "regression" on a machine shaped differently from the recorded
+		// baseline is usually the machine, not the code — surface both
+		// environments so the failure is diagnosable from the log alone.
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: replay throughput regressed more than %.0f%%\n"+
+				"  recorded baseline: num_cpu=%d serial_gomaxprocs=%d parallel_gomaxprocs=%d\n"+
+				"  current run:       num_cpu=%d serial_gomaxprocs=%d parallel_gomaxprocs=%d\n"+
+				"  (if the environments differ, regenerate the baseline on this machine before trusting the gate)\n",
+			*threshold*100,
+			oldB.NumCPU, oldB.SerialGOMAXPROCS, oldB.ParGOMAXPROCS,
+			newB.NumCPU, newB.SerialGOMAXPROCS, newB.ParGOMAXPROCS)
 		os.Exit(1)
 	}
 }

@@ -12,12 +12,21 @@
 //	dampi -lint ./workloads/... -workload adlb -procs 8
 //	dampi -serve :9477 -status :9478 -workload matmul -procs 6 -k 1
 //	dampi -join host:9477 -workload matmul -procs 6 -k 1 -slots 4
+//	dampi -serve :9477 -queue -api :9478 -store /var/lib/dampi
+//	dampi -submit http://host:9478 -workload matmul -procs 6 -k 1 -wait
 //
 // The -serve mode runs the distributed coordinator: it owns the exploration
 // frontier and merges worker results into the same report a local run would
 // print. Workers join with `dampid -join` (or `dampi -join`), passing the
 // same workload and exploration flags — the handshake rejects any mismatch.
 // SIGTERM drains gracefully on both sides.
+//
+// With -queue, -serve instead runs the persistent verification service: a
+// durable job queue (write-ahead log + snapshots under -store) with a REST
+// API and live dashboard on -api, drained continuously onto the connected
+// dampid worker pool. Submit jobs with `dampi -submit URL -workload ...`
+// (add -wait to poll to completion and print the report) or plain curl; see
+// DESIGN.md "Verification service".
 //
 // Erroneous interleavings are printed with their epoch-decisions reproducer;
 // pass -decisions FILE to save the first reproducer as a JSON decisions
@@ -70,6 +79,12 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel replay workers (0 = serial explorer)")
 		serve      = flag.String("serve", "", "run as distributed coordinator listening on ADDR (host:port)")
 		join       = flag.String("join", "", "join the distributed coordinator at ADDR as a replay worker")
+		queue      = flag.Bool("queue", false, "with -serve: run the persistent verification service (job queue + REST API) instead of a single exploration")
+		storeDir   = flag.String("store", "dampi-store", "job store directory (with -serve -queue)")
+		apiAddr    = flag.String("api", "", "REST API and dashboard HTTP ADDR (with -serve -queue)")
+		submitURL  = flag.String("submit", "", "submit this verification as a job to the service at URL and exit")
+		waitJob    = flag.Bool("wait", false, "with -submit: poll the job to completion and print its report")
+		jobTTL     = flag.Duration("ttl", 0, "with -submit: fail the job if not complete within this duration (0 = none)")
 		statusAddr = flag.String("status", "", "serve /status and /metrics over HTTP on ADDR (with -serve)")
 		leaseTTL   = flag.Duration("lease-ttl", 0, "distributed task lease TTL (0 = default 10s; with -serve)")
 		slots      = flag.Int("slots", 1, "concurrent replay slots (with -join)")
@@ -124,6 +139,14 @@ func main() {
 			}
 			exit(0)
 		}
+	}
+
+	if *queue {
+		// The service needs no workload: jobs name theirs in the spec.
+		if *serve == "" {
+			fatal(fmt.Errorf("-queue requires -serve ADDR"))
+		}
+		serveQueue(*serve, *apiAddr, *storeDir, *leaseTTL, *ckpEvery, *verbose)
 	}
 
 	if *name == "" {
@@ -194,6 +217,22 @@ func main() {
 		tp = verify.Inband
 	} else if *transport != "separate" {
 		fatal(fmt.Errorf("unknown transport %q", *transport))
+	}
+
+	if *submitURL != "" {
+		submitJob(*submitURL, verify.JobSpec{
+			Workload:          wl.Name,
+			Procs:             *procs,
+			Scale:             *scale,
+			Iters:             *iters,
+			Clock:             cm,
+			DualClock:         *dual,
+			Transport:         tp,
+			MixingBound:       *k,
+			AutoLoopThreshold: *autoloop,
+			MaxInterleavings:  *maxN,
+			StopOnFirstError:  *stopErr,
+		}, *jobTTL, *waitJob)
 	}
 
 	if *resume && *ckpFile == "" {

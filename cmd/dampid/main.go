@@ -7,12 +7,20 @@
 //
 //	dampid -join host:9477 -workload matmul -procs 6 -k 1
 //	dampid -join host:9477 -workload adlb -procs 12 -k 0 -slots 8
+//	dampid -join host:9477 -slots 8
 //
 // Every exploration flag (-procs, -k, -clock, -dual, -transport, -autoloop)
 // must match the coordinator's: the join handshake rejects any mismatch,
 // because a worker replaying a different program or interleaving space would
 // silently corrupt the merged report. Workload parameters (-scale, -iters)
 // shape the program itself and must likewise be identical on every node.
+//
+// Without -workload the worker joins as an any-workload node of a
+// verification service (`dampi -serve -queue`): each announced job carries a
+// full spec — workload name, parameters, exploration flags — and the worker
+// builds the program from the registry per job. The exploration flags are
+// then ignored (the job spec governs). A single-exploration coordinator
+// refuses any-workload workers; pass -workload to join one.
 //
 // SIGTERM (and SIGINT) drain gracefully: in-flight replays finish and
 // deliver their results before the worker exits. If the coordinator
@@ -27,6 +35,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dampi/mpi"
 	"dampi/verify"
 	"dampi/workloads"
 )
@@ -48,9 +57,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if *join == "" || *name == "" {
+	if *join == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *name == "" {
+		joinAnyWorkload(*join, *slots, *workerName)
+		return
 	}
 
 	wl, err := workloads.Get(*name)
@@ -88,6 +102,8 @@ func main() {
 		Addr:       *join,
 		Slots:      *slots,
 		WorkerName: *workerName,
+		Scale:      *scale,
+		Iters:      *iters,
 		OnEvent:    func(line string) { fmt.Println(line) },
 	}
 	w, err := verify.Join(cfg, prog)
@@ -104,6 +120,41 @@ func main() {
 		w.Stop()
 	}()
 
+	if err := w.Run(); err != nil {
+		fatal(err)
+	}
+}
+
+// joinAnyWorkload runs the worker without a pinned program: a verification
+// service announces each job's full spec, and the worker builds the program
+// from the registry per job.
+func joinAnyWorkload(addr string, slots int, name string) {
+	w, err := verify.JoinQueue(verify.ClusterConfig{
+		Addr:       addr,
+		Slots:      slots,
+		WorkerName: name,
+		OnEvent:    func(line string) { fmt.Println(line) },
+	}, func(spec verify.JobSpec) (func(p *mpi.Proc) error, error) {
+		wl, err := workloads.Get(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Procs < wl.MinProcs {
+			return nil, fmt.Errorf("%s needs at least %d procs", wl.Name, wl.MinProcs)
+		}
+		return wl.Program(workloads.Params{Procs: spec.Procs, Scale: spec.Scale, Iters: spec.Iters}), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		signal.Stop(sig) // a second signal kills outright
+		fmt.Fprintf(os.Stderr, "dampid: %v: draining (in-flight replays will finish)\n", s)
+		w.Stop()
+	}()
 	if err := w.Run(); err != nil {
 		fatal(err)
 	}

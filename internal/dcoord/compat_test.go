@@ -1,6 +1,7 @@
 package dcoord
 
 import (
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -117,33 +118,36 @@ func TestJoinRejectsWrongProtocol(t *testing.T) {
 	}
 }
 
-// TestJoinRejectsOldProtocolV1: a worker from before the batched-lease task
-// frame (protocol 1) is refused at hello with an error naming both versions.
-// A v1 worker decoding a v2 task frame would see no task at all and silently
-// idle while its leases expired, so the pairing must fail loudly instead.
-func TestJoinRejectsOldProtocolV1(t *testing.T) {
+// TestJoinRejectsOldProtocols: workers from before the batched-lease task
+// frame (protocol 1) or the multi-job frames (protocol 2) are refused at
+// hello with an error naming both versions. An old worker would drop the
+// frames it does not know — batched tasks for v1, job announcements for v2 —
+// and silently idle or misroute results, so the pairing must fail loudly.
+func TestJoinRejectsOldProtocols(t *testing.T) {
 	fp := baseFingerprint()
 	c, addr := startCoordinator(t, Config{Fingerprint: fp, LeaseTTL: time.Second})
 	defer c.Stop()
 
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	if err := writeFrame(conn, &frame{Type: msgHello, Proto: 1, Worker: "legacy", Slots: 1, Fingerprint: &fp}); err != nil {
-		t.Fatal(err)
-	}
-	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	fr, err := readFrame(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fr.Type != msgReject {
-		t.Fatalf("v1 worker got %s frame, want reject", fr.Type)
-	}
-	if !strings.Contains(fr.Reason, "protocol version 1") || !strings.Contains(fr.Reason, "2") {
-		t.Errorf("reject reason %q does not name both protocol versions", fr.Reason)
+	for _, old := range []int{1, 2} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(conn, &frame{Type: msgHello, Proto: old, Worker: "legacy", Slots: 1, Fingerprint: &fp}); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		fr, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Type != msgReject {
+			t.Fatalf("v%d worker got %s frame, want reject", old, fr.Type)
+		}
+		if !strings.Contains(fr.Reason, fmt.Sprintf("protocol version %d", old)) || !strings.Contains(fr.Reason, "3") {
+			t.Errorf("reject reason %q does not name both protocol versions", fr.Reason)
+		}
+		conn.Close()
 	}
 }
 

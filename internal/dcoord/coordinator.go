@@ -19,6 +19,10 @@ type Config struct {
 	// Fingerprint is the exploration identity every joining worker must
 	// match exactly.
 	Fingerprint Fingerprint
+	// JobID tags every task frame with the job this exploration belongs to.
+	// Empty for single-job explorations (verify.Serve); set by the job-queue
+	// Server, whose workers route tasks and results by it.
+	JobID string
 	// MaxInterleavings caps the number of distinct subtrees explored
 	// (0 = unlimited), like core.ExplorerConfig.MaxInterleavings.
 	MaxInterleavings int
@@ -101,6 +105,12 @@ func (w *workerConn) send(fr *frame) error {
 type Coordinator struct {
 	cfg Config
 
+	// managed marks a coordinator embedded in a Server: the Server owns the
+	// listener, the connections and the read loops, attaching workers for
+	// the duration of one job. A managed coordinator announces job
+	// completion with a jobdone frame and leaves every connection open.
+	managed bool
+
 	mu           sync.Mutex
 	ln           net.Listener
 	workers      map[*workerConn]struct{}
@@ -113,6 +123,7 @@ type Coordinator struct {
 	report       *core.Report
 	rootDone     bool
 	stopped      bool // drain: no new leases (Stop or StopOnFirstError)
+	noFinalCkp   bool // Abort: crash semantics, skip the final checkpoint
 	finished     bool
 	runErr       error
 	sinceCkp     int
@@ -235,6 +246,40 @@ func (c *Coordinator) Serve(ln net.Listener) {
 	}
 }
 
+// startManaged runs a Server-embedded coordinator: the janitor and monitor
+// start, but no listener is owned — the Server attaches already-connected
+// workers instead. Like Serve, an already-complete resume must finish
+// without waiting for a worker.
+func (c *Coordinator) startManaged() {
+	c.managed = true
+	go c.janitor()
+	if c.cfg.OnProgress != nil {
+		c.monitorWG.Add(1)
+		go c.monitor()
+	}
+	c.mu.Lock()
+	fin := c.finishable()
+	c.mu.Unlock()
+	if fin {
+		c.finalize()
+	}
+}
+
+// attachWorker registers an already-handshaken connection for this job,
+// resetting its per-job counters. It reports false when the exploration has
+// already finished (the Server then leaves the worker idle).
+func (c *Coordinator) attachWorker(w *workerConn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished || w.gone {
+		return false
+	}
+	w.active = 0
+	w.completed = 0
+	c.workers[w] = struct{}{}
+	return true
+}
+
 // ListenAndServe listens on addr and Serves. It returns the bound listener
 // (for its address) or an error.
 func (c *Coordinator) ListenAndServe(addr string) (net.Listener, error) {
@@ -265,6 +310,22 @@ func (c *Coordinator) Wait() (*core.Report, error) {
 func (c *Coordinator) Stop() {
 	c.mu.Lock()
 	c.stopped = true
+	fin := c.finishable()
+	c.mu.Unlock()
+	if fin {
+		c.finalize()
+	}
+}
+
+// Abort ends the exploration with an error and crash semantics: no final
+// checkpoint is written (periodic ones stand), and Wait returns err. The
+// Server's kill path uses it so a simulated crash leaves exactly the state a
+// real one would. Outstanding leases must drain first (dropWorker or the
+// janitor requeues them); finalize fires from whichever path empties them.
+func (c *Coordinator) Abort(err error) {
+	c.mu.Lock()
+	c.failLocked(err)
+	c.noFinalCkp = true
 	fin := c.finishable()
 	c.mu.Unlock()
 	if fin {
@@ -306,7 +367,11 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		return
 	}
 	if fr.Fingerprint == nil {
-		_ = w.send(&frame{Type: msgReject, Reason: "dcoord: hello without fingerprint"})
+		reason := "dcoord: hello without fingerprint"
+		if fr.AnyWorkload {
+			reason = "dcoord: this coordinator runs a single pinned exploration; any-workload workers need a job-queue server (dampi -serve -queue), or rejoin pinned with -workload and matching flags"
+		}
+		_ = w.send(&frame{Type: msgReject, Reason: reason})
 		conn.Close()
 		return
 	}
@@ -467,7 +532,7 @@ func (c *Coordinator) dispatch() {
 				batch = append(batch, wireTask{Lease: l.id, Task: t, Root: t.Decisions == nil})
 			}
 			if len(batch) > 0 {
-				sends = append(sends, send{w: w, fr: &frame{Type: msgTask, Tasks: batch}})
+				sends = append(sends, send{w: w, fr: &frame{Type: msgTask, Job: c.cfg.JobID, Tasks: batch}})
 			}
 		}
 	}
@@ -634,7 +699,7 @@ func (c *Coordinator) finalize() {
 		return c.report.Errors[i].Decisions.String() < c.report.Errors[j].Decisions.String()
 	})
 	var ckp *dexplore.Checkpoint
-	if c.cfg.CheckpointPath != "" {
+	if c.cfg.CheckpointPath != "" && !c.noFinalCkp {
 		ckp = c.checkpointLocked()
 	}
 	conns := make([]*workerConn, 0, len(c.workers))
@@ -642,6 +707,7 @@ func (c *Coordinator) finalize() {
 		conns = append(conns, w)
 	}
 	ln := c.ln
+	managed := c.managed
 	c.mu.Unlock()
 
 	if ckp != nil {
@@ -654,6 +720,12 @@ func (c *Coordinator) finalize() {
 		}
 	}
 	for _, w := range conns {
+		if managed {
+			// The Server keeps the connection for the next job; the worker
+			// just drops this job's replay contexts.
+			_ = w.send(&frame{Type: msgJobDone, Job: c.cfg.JobID})
+			continue
+		}
 		_ = w.send(&frame{Type: msgDone})
 		w.conn.Close()
 	}

@@ -22,7 +22,9 @@
 package dcoord
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,8 +36,13 @@ import (
 // version is rejected at handshake. Version 2 replaced the task frame's
 // single lease/task/root fields with a batch of wire tasks, so a v1 worker
 // would silently drop every lease a v2 coordinator granted it (and vice
-// versa) — the handshake refuses the pairing instead.
-const protoVersion = 2
+// versa) — the handshake refuses the pairing instead. Version 3 made the
+// cluster multi-job: task and result frames carry a job id, the job/jobdone
+// frames announce which exploration the leases that follow belong to, and
+// the hello may omit the fingerprint (an any-workload worker builds its
+// program per job from the announced JobSpec). A v2 worker would drop every
+// job announcement and misroute results, so the pairing is refused.
+const protoVersion = 3
 
 // maxFrameSize bounds a single frame (a frontier expansion or the root
 // trace can be large, but anything beyond this is a corrupt stream).
@@ -61,6 +68,15 @@ const (
 	// msgDone tells the worker the exploration is over; it disconnects and
 	// exits cleanly.
 	msgDone = "done"
+	// msgJob announces the active job: every task frame that follows belongs
+	// to it until the next job or jobdone frame. The spec carries everything
+	// a worker needs to build the program (an any-workload worker constructs
+	// its replay context from it; a pinned worker checks it matches).
+	msgJob = "job"
+	// msgJobDone tells the worker one job's exploration ended. Unlike
+	// msgDone the connection stays open: the worker discards that job's
+	// replay contexts and waits for the next job announcement.
+	msgJobDone = "jobdone"
 )
 
 // frame is the single wire envelope; Type selects which fields are
@@ -69,17 +85,29 @@ const (
 type frame struct {
 	Type string `json:"type"`
 
-	// hello
+	// hello. A pinned worker (it runs one caller-supplied program) sends its
+	// Fingerprint plus the workload parameters baked into that program; an
+	// any-workload worker sends AnyWorkload instead and builds programs per
+	// job from announced specs.
 	Proto       int          `json:"proto,omitempty"`
 	Worker      string       `json:"worker,omitempty"`
 	Slots       int          `json:"slots,omitempty"`
 	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+	AnyWorkload bool         `json:"any_workload,omitempty"`
+	Scale       int          `json:"scale,omitempty"`
+	Iters       int          `json:"iters,omitempty"`
 
 	// reject
 	Reason string `json:"reason,omitempty"`
 
 	// welcome
 	LeaseTTLMillis int64 `json:"lease_ttl_ms,omitempty"`
+
+	// job / jobdone / task / result: the job the frame belongs to. Empty in
+	// single-job explorations (verify.Serve), where there is nothing to
+	// distinguish.
+	Job  string   `json:"job,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
 
 	// task: a batch of individually-leased subtree tasks. Batching lets a
 	// worker prefetch its next replays while every slot is busy, halving the
@@ -135,6 +163,98 @@ type RootInfo struct {
 	WildcardsAnalyzed int                 `json:"wildcards_analyzed"`
 	Unsafe            []core.UnsafeReport `json:"unsafe,omitempty"`
 	FirstTrace        *core.RunTrace      `json:"first_trace,omitempty"`
+}
+
+// JobSpec is the complete, self-contained description of one verification
+// job: everything a worker needs to rebuild the program (workload name plus
+// the parameters that shape it) and everything that shapes the interleaving
+// space (the Fingerprint fields), plus the job-level exploration bounds. It
+// is the unit the job queue persists and the msgJob frame announces.
+type JobSpec struct {
+	// Workload names the registered program both sides build.
+	Workload string `json:"workload"`
+	// Procs is the MPI world size.
+	Procs int `json:"procs"`
+	// Scale divides traffic volumes for the proxy workloads that support it.
+	Scale int `json:"scale,omitempty"`
+	// Iters is the outer iteration count for the proxies that support it.
+	Iters int `json:"iters,omitempty"`
+
+	// Exploration-space parameters (the Fingerprint fields).
+	Clock             core.ClockMode `json:"clock"`
+	DualClock         bool           `json:"dual_clock,omitempty"`
+	Transport         core.Transport `json:"transport"`
+	MixingBound       int            `json:"mixing_bound"`
+	AutoLoopThreshold int            `json:"auto_loop_threshold,omitempty"`
+
+	// Job-level bounds.
+	MaxInterleavings int  `json:"max_interleavings,omitempty"`
+	StopOnFirstError bool `json:"stop_on_first_error,omitempty"`
+}
+
+// Normalize fills workload-parameter defaults (the same defaults the CLI
+// flags use), so two submissions that mean the same job hash the same.
+func (s *JobSpec) Normalize() {
+	if s.Scale == 0 {
+		s.Scale = 100
+	}
+	if s.Iters == 0 {
+		s.Iters = 4
+	}
+}
+
+// Validate rejects a spec no worker could run.
+func (s *JobSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("dcoord: job spec without a workload name")
+	}
+	if s.Procs < 1 {
+		return fmt.Errorf("dcoord: job spec procs must be >= 1, got %d", s.Procs)
+	}
+	return nil
+}
+
+// Fingerprint projects the spec onto the exploration-compatibility
+// fingerprint pinned workers are checked against.
+func (s *JobSpec) Fingerprint() Fingerprint {
+	return Fingerprint{
+		Workload:          s.Workload,
+		Procs:             s.Procs,
+		Clock:             s.Clock,
+		DualClock:         s.DualClock,
+		Transport:         s.Transport,
+		MixingBound:       s.MixingBound,
+		AutoLoopThreshold: s.AutoLoopThreshold,
+	}
+}
+
+// ExplorerConfig projects the spec onto the per-worker replay configuration
+// (the program itself is attached by the worker's factory).
+func (s *JobSpec) ExplorerConfig() core.ExplorerConfig {
+	return core.ExplorerConfig{
+		Procs:             s.Procs,
+		Clock:             s.Clock,
+		DualClock:         s.DualClock,
+		Transport:         s.Transport,
+		MixingBound:       s.MixingBound,
+		AutoLoopThreshold: s.AutoLoopThreshold,
+	}
+}
+
+// Key is the spec's canonical identity: the hex SHA-256 of its normalized
+// JSON form. The job queue deduplicates submissions by it — two jobs with
+// the same key would explore byte-identical spaces and produce the same
+// report.
+func (s *JobSpec) Key() string {
+	n := *s
+	n.Normalize()
+	body, err := json.Marshal(&n)
+	if err != nil {
+		// Marshalling a flat struct of value fields cannot fail.
+		panic(fmt.Sprintf("dcoord: marshal JobSpec: %v", err))
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
 }
 
 // Fingerprint identifies the exploration a node is configured for. Both

@@ -3,6 +3,7 @@ package dcoord
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"time"
@@ -21,6 +22,7 @@ type Status struct {
 	DecisionPts   int     `json:"decision_points"`
 	FrontierDepth int     `json:"frontier_depth"`
 	ActiveLeases  int     `json:"active_leases"`
+	DoneSet       int     `json:"done_set_size"`
 	Requeues      int     `json:"requeues"`
 	MeanPerSec    float64 `json:"per_second_mean"`
 	WindowPerSec  float64 `json:"per_second_window"`
@@ -65,6 +67,7 @@ func (c *Coordinator) Status() Status {
 		DecisionPts:   c.report.DecisionPoints,
 		FrontierDepth: len(c.frontier),
 		ActiveLeases:  len(c.leases),
+		DoneSet:       len(c.done),
 		Requeues:      c.requeues,
 		MeanPerSec:    mean,
 		WindowPerSec:  window,
@@ -121,22 +124,32 @@ func (c *Coordinator) StatusHandler() http.Handler {
 			up = 1
 		}
 		fmt.Fprintf(w, "# HELP dampi_up Whether the exploration is still running.\n# TYPE dampi_up gauge\ndampi_up %d\n", up)
-		fmt.Fprintf(w, "# HELP dampi_interleavings_total Replays merged into the report.\n# TYPE dampi_interleavings_total counter\ndampi_interleavings_total %d\n", st.Interleavings)
-		fmt.Fprintf(w, "# HELP dampi_interleavings_per_second Trailing-window completion rate.\n# TYPE dampi_interleavings_per_second gauge\ndampi_interleavings_per_second %g\n", st.WindowPerSec)
-		fmt.Fprintf(w, "# HELP dampi_frontier_depth Pending subtree tasks.\n# TYPE dampi_frontier_depth gauge\ndampi_frontier_depth %d\n", st.FrontierDepth)
-		fmt.Fprintf(w, "# HELP dampi_active_leases Tasks currently leased to workers.\n# TYPE dampi_active_leases gauge\ndampi_active_leases %d\n", st.ActiveLeases)
-		fmt.Fprintf(w, "# HELP dampi_requeues_total Leases lost and requeued (crash, hang, disconnect).\n# TYPE dampi_requeues_total counter\ndampi_requeues_total %d\n", st.Requeues)
-		fmt.Fprintf(w, "# HELP dampi_errors_total Failing interleavings found.\n# TYPE dampi_errors_total counter\ndampi_errors_total %d\n", st.Errors)
-		fmt.Fprintf(w, "# HELP dampi_deadlocks_total Deadlocked interleavings found.\n# TYPE dampi_deadlocks_total counter\ndampi_deadlocks_total %d\n", st.Deadlocks)
-		fmt.Fprintf(w, "# HELP dampi_workers_connected Connected workers.\n# TYPE dampi_workers_connected gauge\ndampi_workers_connected %d\n", len(st.Workers))
-		fmt.Fprintf(w, "# HELP dampi_worker_lease_age_seconds Age of each worker's oldest outstanding lease.\n# TYPE dampi_worker_lease_age_seconds gauge\n")
-		for _, ws := range st.Workers {
-			fmt.Fprintf(w, "dampi_worker_lease_age_seconds{worker=%q} %g\n", ws.Name, ws.OldestLeaseSec)
-		}
-		fmt.Fprintf(w, "# HELP dampi_worker_completed_total Results merged per worker session.\n# TYPE dampi_worker_completed_total counter\n")
-		for _, ws := range st.Workers {
-			fmt.Fprintf(w, "dampi_worker_completed_total{worker=%q} %d\n", ws.Name, ws.Completed)
-		}
+		WriteMetrics(w, st)
 	})
 	return mux
+}
+
+// WriteMetrics renders one exploration's Status in Prometheus text
+// exposition format — the metric body shared by the single-job /metrics
+// endpoint and the job-queue service's (which prefixes its own service-level
+// gauges). The dampi_up metric is NOT written here: its meaning differs
+// between the two surfaces (exploration running vs. service alive).
+func WriteMetrics(w io.Writer, st Status) {
+	fmt.Fprintf(w, "# HELP dampi_interleavings_total Replays merged into the report.\n# TYPE dampi_interleavings_total counter\ndampi_interleavings_total %d\n", st.Interleavings)
+	fmt.Fprintf(w, "# HELP dampi_interleavings_per_second Trailing-window completion rate.\n# TYPE dampi_interleavings_per_second gauge\ndampi_interleavings_per_second %g\n", st.WindowPerSec)
+	fmt.Fprintf(w, "# HELP dampi_frontier_depth Pending subtree tasks.\n# TYPE dampi_frontier_depth gauge\ndampi_frontier_depth %d\n", st.FrontierDepth)
+	fmt.Fprintf(w, "# HELP dampi_active_leases Tasks currently leased to workers.\n# TYPE dampi_active_leases gauge\ndampi_active_leases %d\n", st.ActiveLeases)
+	fmt.Fprintf(w, "# HELP dampi_done_set_size Completed task keys held for at-least-once dedup.\n# TYPE dampi_done_set_size gauge\ndampi_done_set_size %d\n", st.DoneSet)
+	fmt.Fprintf(w, "# HELP dampi_requeues_total Leases lost and requeued (crash, hang, disconnect).\n# TYPE dampi_requeues_total counter\ndampi_requeues_total %d\n", st.Requeues)
+	fmt.Fprintf(w, "# HELP dampi_errors_total Failing interleavings found.\n# TYPE dampi_errors_total counter\ndampi_errors_total %d\n", st.Errors)
+	fmt.Fprintf(w, "# HELP dampi_deadlocks_total Deadlocked interleavings found.\n# TYPE dampi_deadlocks_total counter\ndampi_deadlocks_total %d\n", st.Deadlocks)
+	fmt.Fprintf(w, "# HELP dampi_workers_connected Connected workers.\n# TYPE dampi_workers_connected gauge\ndampi_workers_connected %d\n", len(st.Workers))
+	fmt.Fprintf(w, "# HELP dampi_worker_lease_age_seconds Age of each worker's oldest outstanding lease.\n# TYPE dampi_worker_lease_age_seconds gauge\n")
+	for _, ws := range st.Workers {
+		fmt.Fprintf(w, "dampi_worker_lease_age_seconds{worker=%q} %g\n", ws.Name, ws.OldestLeaseSec)
+	}
+	fmt.Fprintf(w, "# HELP dampi_worker_completed_total Results merged per worker session.\n# TYPE dampi_worker_completed_total counter\n")
+	for _, ws := range st.Workers {
+		fmt.Fprintf(w, "dampi_worker_completed_total{worker=%q} %d\n", ws.Name, ws.Completed)
+	}
 }

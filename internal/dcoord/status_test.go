@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -92,6 +93,122 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\n--- body ---\n%s", want, body)
 		}
+	}
+}
+
+// statusGoldenFields is the /status wire contract: every key a scrape must
+// always find, whatever the exploration state. The jobqueue dashboard and
+// external monitors read these names — a rename is a breaking change and must
+// fail here first.
+var statusGoldenFields = []string{
+	"state", "workload", "procs", "elapsed_sec", "interleavings", "errors",
+	"deadlocks", "decision_points", "frontier_depth", "active_leases",
+	"done_set_size", "requeues", "per_second_mean", "per_second_window",
+	"workers",
+}
+
+// workerGoldenFields is the contract of each entry in "workers".
+var workerGoldenFields = []string{
+	"name", "addr", "slots", "active_leases", "completed", "connected_sec",
+	"oldest_lease_sec",
+}
+
+// TestStatusGoldenFieldSet pins the exact JSON key sets of /status.
+func TestStatusGoldenFieldSet(t *testing.T) {
+	cfg := leaseTestConfig(time.Second)
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+	f := dialFake(t, addr, cfg.Fingerprint, "golden", 1)
+	defer f.close()
+	f.recvTask()
+
+	srv := httptest.NewServer(c.StatusHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("/status is not a JSON object: %v\n%s", err, body)
+	}
+	for _, field := range statusGoldenFields {
+		if _, ok := raw[field]; !ok {
+			t.Errorf("/status is missing %q", field)
+		}
+	}
+	var workers []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["workers"], &workers); err != nil || len(workers) != 1 {
+		t.Fatalf("workers = %s (err %v), want one entry", raw["workers"], err)
+	}
+	for _, field := range workerGoldenFields {
+		if _, ok := workers[0][field]; !ok {
+			t.Errorf("worker entry is missing %q", field)
+		}
+	}
+}
+
+// promSample matches one Prometheus text-exposition sample line.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$`)
+
+// TestMetricsExpositionParses: every /metrics line is either a well-formed
+// comment or a sample the Prometheus text format accepts, and every sample is
+// preceded by its # TYPE declaration.
+func TestMetricsExpositionParses(t *testing.T) {
+	cfg := leaseTestConfig(time.Second)
+	c, addr := startCoordinator(t, cfg)
+	defer c.Stop()
+	f := dialFake(t, addr, cfg.Fingerprint, "parsed", 1)
+	defer f.close()
+	f.recvTask()
+
+	srv := httptest.NewServer(c.StatusHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+
+	typed := make(map[string]bool)
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 || (parts[3] != "gauge" && parts[3] != "counter") {
+				t.Errorf("bad TYPE comment %q", line)
+				continue
+			}
+			typed[parts[2]] = true
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unknown comment form %q", line)
+		default:
+			if !promSample.MatchString(line) {
+				t.Errorf("bad exposition sample %q", line)
+				continue
+			}
+			samples++
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if !typed[name] {
+				t.Errorf("sample %q has no preceding # TYPE", name)
+			}
+		}
+	}
+	if samples < 10 {
+		t.Errorf("only %d samples; the exposition looks truncated:\n%s", samples, raw)
 	}
 }
 

@@ -21,13 +21,27 @@ type WorkerConfig struct {
 	// Slots is the number of concurrent replay slots (each with its own
 	// core.RunContext and mpi.World). Default 1.
 	Slots int
-	// Fingerprint is sent in the handshake; it must match the coordinator's
-	// or the join is rejected.
+	// Fingerprint, when non-zero, pins the worker to one exploration: it is
+	// sent in the handshake and the worker only ever replays jobs whose spec
+	// matches it. A zero Fingerprint (requires Factory) makes this an
+	// any-workload worker: it advertises the capability instead and builds
+	// its program per job from the announced spec.
 	Fingerprint Fingerprint
-	// Explorer carries the replay parameters and the program. Its
-	// exploration fields must agree with Fingerprint (the caller builds both
-	// from one source).
+	// Explorer carries the replay parameters and the program for pinned
+	// workers. Its exploration fields must agree with Fingerprint (the
+	// caller builds both from one source).
 	Explorer core.ExplorerConfig
+	// Factory, if non-nil, builds the replay configuration (including the
+	// program) for an announced job spec. Required for any-workload workers;
+	// optional for pinned ones (the pinned Explorer is used instead).
+	Factory func(spec JobSpec) (core.ExplorerConfig, error)
+	// Scale and Iters are the workload parameters a pinned worker's program
+	// was built with, advertised in the handshake so a job-queue server only
+	// dispatches jobs with matching parameters. 0 means unknown (library
+	// callers), which matches any job — those callers must themselves ensure
+	// every node builds the identical program.
+	Scale int
+	Iters int
 	// DialTimeout bounds one connection attempt. Default 5s.
 	DialTimeout time.Duration
 	// BackoffInitial and BackoffMax shape the reconnect backoff (exponential
@@ -56,15 +70,21 @@ type Worker struct {
 	stopOnce sync.Once
 }
 
-// NewWorker creates a worker. Like the engines it panics on a config without
-// a program or with a non-positive world size, so misuse fails loudly at
-// startup rather than at first lease.
+// NewWorker creates a worker. Like the engines it panics on a config that
+// can never replay anything — a pinned worker without a program, or an
+// unpinned worker without a factory — so misuse fails loudly at startup
+// rather than at first lease.
 func NewWorker(cfg WorkerConfig) *Worker {
-	if cfg.Explorer.Procs < 1 {
-		panic("dcoord: WorkerConfig.Explorer.Procs must be >= 1")
+	if cfg.Factory == nil {
+		if cfg.Explorer.Procs < 1 {
+			panic("dcoord: WorkerConfig.Explorer.Procs must be >= 1")
+		}
+		if cfg.Explorer.Program == nil && cfg.Explorer.Runner == nil {
+			panic("dcoord: WorkerConfig.Explorer.Program must be set")
+		}
 	}
-	if cfg.Explorer.Program == nil && cfg.Explorer.Runner == nil {
-		panic("dcoord: WorkerConfig.Explorer.Program must be set")
+	if cfg.Factory != nil && (cfg.Fingerprint == Fingerprint{}) && (cfg.Explorer.Program != nil || cfg.Explorer.Runner != nil) {
+		panic("dcoord: any-workload worker with a pinned program; set Fingerprint or drop Explorer")
 	}
 	if cfg.Slots < 1 {
 		cfg.Slots = 1
@@ -191,6 +211,73 @@ func (w *Worker) halted() bool {
 	return w.stopping || w.killed
 }
 
+// jobRuntime is one job's replay machinery on this worker: the resolved
+// explorer configuration plus a freelist of RunContexts, so tool state
+// recycles across the replays of one job and is dropped with it.
+type jobRuntime struct {
+	id  string
+	cfg core.ExplorerConfig
+	err string // non-empty: the spec could not be built; its tasks answer Fatal
+
+	mu   sync.Mutex
+	free []*core.RunContext
+}
+
+// get pops a recycled RunContext or builds a fresh one.
+func (rt *jobRuntime) get() *core.RunContext {
+	rt.mu.Lock()
+	if n := len(rt.free); n > 0 {
+		rc := rt.free[n-1]
+		rt.free = rt.free[:n-1]
+		rt.mu.Unlock()
+		return rc
+	}
+	rt.mu.Unlock()
+	return core.NewRunContext(&rt.cfg)
+}
+
+// put returns a RunContext to the freelist.
+func (rt *jobRuntime) put(rc *core.RunContext) {
+	rt.mu.Lock()
+	rt.free = append(rt.free, rc)
+	rt.mu.Unlock()
+}
+
+// runtimeFor resolves a job announcement into a runtime: through the
+// factory when present, else against the pinned explorer configuration.
+func (w *Worker) runtimeFor(job string, spec *JobSpec) *jobRuntime {
+	rt := &jobRuntime{id: job}
+	if spec == nil {
+		rt.err = "dcoord: job announcement without a spec"
+		return rt
+	}
+	if w.cfg.Factory != nil {
+		cfg, err := w.cfg.Factory(*spec)
+		if err != nil {
+			rt.err = fmt.Sprintf("dcoord: worker cannot build job spec: %v", err)
+			return rt
+		}
+		rt.cfg = cfg
+		return rt
+	}
+	if err := w.cfg.Fingerprint.Check(spec.Fingerprint()); err != nil {
+		// The server checks eligibility before dispatching, so this is a
+		// server bug; fail the job loudly rather than corrupt its report.
+		rt.err = fmt.Sprintf("dcoord: job spec does not match pinned worker: %v", err)
+		return rt
+	}
+	rt.cfg = w.cfg.Explorer
+	return rt
+}
+
+// slotTask is one leased task routed to a replay slot, with the runtime of
+// the job it belongs to.
+type slotTask struct {
+	rt  *jobRuntime
+	job string
+	wt  wireTask
+}
+
 // session runs one connection's lifetime: handshake, then slots replaying
 // tasks while heartbeats renew the leases. It returns done=true when the
 // coordinator declared the exploration over.
@@ -204,7 +291,6 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 		return false, nil
 	}
 
-	fp := w.cfg.Fingerprint
 	var smu sync.Mutex // serializes result and heartbeat writes
 	send := func(fr *frame) error {
 		smu.Lock()
@@ -212,7 +298,14 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 		_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 		return writeFrame(conn, fr)
 	}
-	if err := send(&frame{Type: msgHello, Proto: protoVersion, Worker: w.cfg.Name, Slots: w.cfg.Slots, Fingerprint: &fp}); err != nil {
+	hello := &frame{Type: msgHello, Proto: protoVersion, Worker: w.cfg.Name, Slots: w.cfg.Slots}
+	if fp := w.cfg.Fingerprint; fp != (Fingerprint{}) {
+		hello.Fingerprint = &fp
+		hello.Scale, hello.Iters = w.cfg.Scale, w.cfg.Iters
+	} else {
+		hello.AnyWorkload = true
+	}
+	if err := send(hello); err != nil {
 		return false, err
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
@@ -261,21 +354,23 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 		}
 	}()
 
-	// Slots: each owns a RunContext so tool state recycles across the
-	// replays it runs (same per-worker ownership as dexplore). The channel
-	// buffer holds the coordinator's prefetch batch (it grants up to 2×slots
-	// leases by default), so the reader unpacks a whole task frame without
-	// blocking and a finishing slot starts its next replay with no round trip.
-	tasks := make(chan wireTask, 2*w.cfg.Slots)
+	// Slots: RunContexts live in the per-job runtime freelists so tool state
+	// recycles across one job's replays (same per-worker ownership as
+	// dexplore) and is dropped when the job ends. The channel buffer holds
+	// the coordinator's prefetch batch (it grants up to 2×slots leases by
+	// default), so the reader unpacks a whole task frame without blocking
+	// and a finishing slot starts its next replay with no round trip.
+	tasks := make(chan slotTask, 2*w.cfg.Slots)
 	var slotWG sync.WaitGroup
 	for i := 0; i < w.cfg.Slots; i++ {
 		slotWG.Add(1)
 		go func() {
 			defer slotWG.Done()
-			rc := core.NewRunContext(&w.cfg.Explorer)
-			for wt := range tasks {
-				res := w.execute(rc, wt)
-				if err := send(&frame{Type: msgResult, Result: res}); err != nil {
+			for st := range tasks {
+				rc := st.rt.get()
+				res := w.execute(st.rt, rc, st.wt)
+				st.rt.put(rc)
+				if err := send(&frame{Type: msgResult, Job: st.job, Result: res}); err != nil {
 					return // session is over; the lease will expire and requeue
 				}
 			}
@@ -304,23 +399,62 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 		case <-sessDone:
 		}
 	}()
+	// Job runtimes, keyed by job id. Pinned workers pre-seed the empty id:
+	// a single-job coordinator (verify.Serve) announces no jobs and tags no
+	// frames, so its tasks resolve to the pinned program.
+	runtimes := make(map[string]*jobRuntime)
+	if w.cfg.Explorer.Program != nil || w.cfg.Explorer.Runner != nil {
+		runtimes[""] = &jobRuntime{cfg: w.cfg.Explorer}
+	}
+read:
 	for {
 		fr, err := readFrame(conn)
 		if err != nil {
 			readErr = err
 			break
 		}
-		if fr.Type == msgDone {
+		switch fr.Type {
+		case msgDone:
 			done = true
-			break
-		}
-		if fr.Type == msgTask {
+			break read
+		case msgJob:
+			// A new job supersedes any previous one: the server runs jobs
+			// sequentially, so old runtimes (and their pooled contexts) are
+			// dropped. In-flight slots keep their own references.
+			rt := w.runtimeFor(fr.Job, fr.Spec)
+			seed := runtimes[""]
+			runtimes = map[string]*jobRuntime{fr.Job: rt}
+			if seed != nil {
+				runtimes[""] = seed
+			}
+			if rt.err != "" {
+				w.event("job %s unrunnable: %s", fr.Job, rt.err)
+			} else {
+				w.event("job %s: %s procs=%d", fr.Job, fr.Spec.Workload, fr.Spec.Procs)
+			}
+		case msgJobDone:
+			delete(runtimes, fr.Job)
+			w.event("job %s done", fr.Job)
+		case msgTask:
+			rt := runtimes[fr.Job]
 			for _, wt := range fr.Tasks {
 				if wt.Task == nil {
 					continue
 				}
+				if rt == nil || rt.err != "" {
+					// A task the worker cannot run: answer Fatal so the job
+					// fails loudly instead of burning the redelivery cap.
+					reason := "dcoord: task for unannounced job"
+					if rt != nil {
+						reason = rt.err
+					}
+					_ = send(&frame{Type: msgResult, Job: fr.Job, Result: &WireResult{
+						Lease: wt.Lease, Key: taskKey(wt.Task), Fatal: reason,
+					}})
+					continue
+				}
 				select {
-				case tasks <- wt:
+				case tasks <- slotTask{rt: rt, job: fr.Job, wt: wt}:
 				case <-w.stopCh:
 				}
 				if w.halted() {
@@ -328,7 +462,7 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 				}
 			}
 			if w.halted() {
-				break
+				break read
 			}
 		}
 	}
@@ -349,7 +483,7 @@ func (w *Worker) session(conn net.Conn) (bool, error) {
 // execute replays one leased task and builds its wire result: the
 // interleaving outcome, the subtree expansion, and (for the root task) the
 // self-discovery extras.
-func (w *Worker) execute(rc *core.RunContext, wt wireTask) *WireResult {
+func (w *Worker) execute(rt *jobRuntime, rc *core.RunContext, wt wireTask) *WireResult {
 	t := wt.Task
 	out := &WireResult{Lease: wt.Lease, Key: taskKey(t)}
 	trace, res, err := rc.Run(t.Decisions)
@@ -365,7 +499,7 @@ func (w *Worker) execute(rc *core.RunContext, wt wireTask) *WireResult {
 		out.ErrMsg = res.Err.Error()
 	}
 	if !res.Deadlock {
-		ex := t.Expand(&w.cfg.Explorer, trace)
+		ex := t.Expand(&rt.cfg, trace)
 		out.Children = ex.Children
 		out.DecisionPoints = ex.DecisionPoints
 		out.AutoAbstracted = ex.AutoAbstracted

@@ -1,0 +1,325 @@
+package jobqueue
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"dampi/internal/dcoord"
+	"dampi/internal/dexplore"
+)
+
+// ServiceConfig configures the verification service: the job store plus the
+// persistent cluster server the jobs run on.
+type ServiceConfig struct {
+	// Store is the durable job table. Required.
+	Store *Store
+	// Server is the persistent dcoord cluster. Required.
+	Server *dcoord.Server
+	// Validate, if non-nil, vets a submitted spec before it is queued —
+	// the CLI installs the workload-registry check here so unknown workload
+	// names are refused at submission instead of failing the job at
+	// dispatch.
+	Validate func(spec dcoord.JobSpec) error
+	// SweepEvery is the TTL sweep period. Default 5s.
+	SweepEvery time.Duration
+	// OnEvent, if non-nil, receives human-readable lifecycle lines.
+	OnEvent func(string)
+}
+
+// Service drains the job store onto the cluster: one goroutine takes the
+// oldest queued job, runs it via Server.RunJob (the pooled workers get the
+// new job's leases without reconnecting), persists the merged report, and
+// moves on to the next. Everything it does is recorded in the store first,
+// so a crashed service resumes exactly where it stopped.
+type Service struct {
+	cfg ServiceConfig
+
+	wake  chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	start time.Time
+
+	mu        sync.Mutex
+	killed    bool
+	stopping  bool
+	durations []float64 // recent job wall-times (seconds), for the ETA hint
+}
+
+// NewService creates the service; Run starts it.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Store == nil || cfg.Server == nil {
+		return nil, fmt.Errorf("jobqueue: service requires a store and a server")
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = 5 * time.Second
+	}
+	return &Service{
+		cfg:   cfg,
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}, nil
+}
+
+// event emits one lifecycle line.
+func (s *Service) event(format string, args ...any) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(fmt.Sprintf(format, args...))
+	}
+}
+
+// Submit validates and queues a job (or returns the active duplicate).
+func (s *Service) Submit(spec dcoord.JobSpec, ttl time.Duration) (*Job, bool, error) {
+	if err := validateSpec(&spec); err != nil {
+		return nil, false, err
+	}
+	if s.cfg.Validate != nil {
+		if err := s.cfg.Validate(spec); err != nil {
+			return nil, false, err
+		}
+	}
+	j, dup, err := s.cfg.Store.Submit(spec, ttl)
+	if err != nil {
+		return nil, false, err
+	}
+	if !dup {
+		s.event("job %s queued: %s procs=%d", j.ID, spec.Workload, spec.Procs)
+		s.poke()
+	}
+	return j, dup, nil
+}
+
+// Cancel requests cancellation: queued jobs fail immediately, the active
+// job's exploration is drained (RunJob returns, the job records the
+// cancellation). Terminal jobs are left alone (ok=false).
+func (s *Service) Cancel(id string) (ok bool, err error) {
+	j, found := s.cfg.Store.Get(id)
+	if !found {
+		return false, fmt.Errorf("jobqueue: no job %s", id)
+	}
+	if j.State.Terminal() {
+		return false, nil
+	}
+	if _, err := s.cfg.Store.RequestCancel(id); err != nil {
+		return false, err
+	}
+	if j.State == Queued {
+		// Not dispatched yet: fail it here unless the job loop grabbed it in
+		// the meantime (then the flag drains it).
+		if _, err := s.cfg.Store.SetState(id, Failed, "canceled"); err == nil {
+			s.event("job %s canceled", id)
+			return true, nil
+		}
+	}
+	s.cfg.Server.CancelJob(id)
+	s.event("job %s cancellation requested", id)
+	return true, nil
+}
+
+// poke nudges the job loop without blocking.
+func (s *Service) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run drains the queue until Stop or Kill. It blocks; run it in a goroutine.
+func (s *Service) Run() {
+	defer close(s.done)
+	sweep := time.NewTicker(s.cfg.SweepEvery)
+	defer sweep.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if j, ok := s.cfg.Store.NextQueued(); ok {
+			s.runOne(j)
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		case <-sweep.C:
+			s.sweep()
+		}
+	}
+}
+
+// sweep fails TTL-expired jobs and cancels overdue running ones.
+func (s *Service) sweep() {
+	overdue, err := s.cfg.Store.SweepExpired()
+	if err != nil {
+		s.event("ttl sweep: %v", err)
+	}
+	for _, id := range overdue {
+		if _, err := s.cfg.Store.RequestCancel(id); err == nil {
+			s.cfg.Server.CancelJob(id)
+			s.event("job %s overdue; canceling", id)
+		}
+	}
+}
+
+// runOne runs one job start to finish: state transitions are persisted
+// before the action they describe, so the WAL always knows at least as much
+// as the cluster.
+func (s *Service) runOne(j *Job) {
+	if s.cfg.Validate != nil {
+		// Re-vet recovered jobs: the registry may have changed across a
+		// restart, and an unbuildable spec would fail at dispatch anyway.
+		if err := s.cfg.Validate(j.Spec); err != nil {
+			_, _ = s.cfg.Store.SetState(j.ID, Failed, err.Error())
+			return
+		}
+	}
+	jcfg := dcoord.JobConfig{ID: j.ID, CheckpointPath: s.cfg.Store.CheckpointPath(j.ID)}
+	if j.Attempts > 0 {
+		// A recovered job: resume from its frontier checkpoint when one was
+		// written; otherwise the exploration restarts (same result, lost
+		// progress).
+		if ckp, err := dexplore.LoadCheckpoint(jcfg.CheckpointPath); err == nil {
+			jcfg.Resume = ckp
+			s.event("job %s resuming from checkpoint (%d interleavings done)", j.ID, ckp.Interleavings)
+		} else if !os.IsNotExist(err) {
+			s.event("job %s checkpoint unreadable (%v); restarting exploration", j.ID, err)
+		}
+	}
+	if _, err := s.cfg.Store.SetState(j.ID, Running, ""); err != nil {
+		s.event("job %s: %v", j.ID, err)
+		return
+	}
+	s.event("job %s started (attempt %d)", j.ID, j.Attempts+1)
+
+	started := time.Now()
+	rep, runErr := s.cfg.Server.RunJob(j.Spec, jcfg)
+	elapsed := time.Since(started).Seconds()
+
+	if s.isKilled() {
+		// Crash simulation: leave the job Running in the WAL, exactly as a
+		// real crash between dispatch and completion would.
+		return
+	}
+	cur, _ := s.cfg.Store.Get(j.ID)
+	canceled := cur != nil && cur.CancelRequested
+	if s.isStopping() && runErr == nil && !canceled {
+		// Graceful shutdown drained the exploration mid-flight: the final
+		// checkpoint holds the remaining frontier, so the job goes back to
+		// the queue and the next start resumes it. (If it actually finished
+		// during the drain, the resumed checkpoint has an empty frontier and
+		// the next attempt completes instantly with the full report.)
+		_, _ = s.cfg.Store.SetState(j.ID, Queued, "")
+		s.event("job %s requeued for the next start (%d interleavings so far)", j.ID, rep.Interleavings)
+		return
+	}
+	if runErr != nil {
+		_, _ = s.cfg.Store.SetState(j.ID, Failed, runErr.Error())
+		s.event("job %s failed: %v", j.ID, runErr)
+		return
+	}
+	if canceled {
+		_, _ = s.cfg.Store.SetState(j.ID, Failed, "canceled")
+		s.event("job %s canceled after %d interleavings", j.ID, rep.Interleavings)
+		return
+	}
+	if _, err := s.cfg.Store.SetState(j.ID, Merging, ""); err != nil {
+		s.event("job %s: %v", j.ID, err)
+		return
+	}
+	jrep := NewJobReport(j.Spec, rep, elapsed)
+	if err := s.cfg.Store.SaveReport(j.ID, jrep); err != nil {
+		_, _ = s.cfg.Store.SetState(j.ID, Failed, fmt.Sprintf("persist report: %v", err))
+		s.event("job %s failed: %v", j.ID, err)
+		return
+	}
+	_, _ = s.cfg.Store.SetSummary(j.ID, jrep)
+	if _, err := s.cfg.Store.SetState(j.ID, Done, ""); err != nil {
+		s.event("job %s: %v", j.ID, err)
+		return
+	}
+	os.Remove(s.cfg.Store.CheckpointPath(j.ID)) // the report supersedes it
+	s.observeDuration(elapsed)
+	s.event("job %s done: %s (%.1fs)", j.ID, jrep.Summary(), elapsed)
+}
+
+// observeDuration records one finished job's wall time (last 32 kept).
+func (s *Service) observeDuration(sec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durations = append(s.durations, sec)
+	if len(s.durations) > 32 {
+		s.durations = s.durations[len(s.durations)-32:]
+	}
+}
+
+// recentJobSeconds is the mean wall time of recently finished jobs (0 when
+// none finished yet).
+func (s *Service) recentJobSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.durations) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range s.durations {
+		sum += d
+	}
+	return sum / float64(len(s.durations))
+}
+
+// isKilled reports whether Kill fired.
+func (s *Service) isKilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// isStopping reports whether a graceful Stop is in progress.
+func (s *Service) isStopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopping
+}
+
+// Stop shuts down gracefully: the active job drains (its partial state is
+// requeued on the next start via crash recovery — reports are only written
+// for completed explorations), the store snapshots, the cluster says
+// goodbye.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	s.stopping = true
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.stop) })
+	if _, id, ok := s.cfg.Server.CurrentStatus(); ok {
+		s.cfg.Server.CancelJob(id)
+	}
+	<-s.done
+	s.cfg.Server.Close(false)
+	_ = s.cfg.Store.Snapshot()
+	_ = s.cfg.Store.Close()
+}
+
+// Kill simulates a crash: worker connections drop mid-lease, the WAL is left
+// exactly as it was (the active job still Running), nothing is flushed.
+// Tests reopen the store afterwards and assert recovery.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	s.killed = true
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.stop) })
+	s.cfg.Server.Close(true)
+	<-s.done
+	_ = s.cfg.Store.Close()
+}
+
+// ListenWorkers starts the cluster listener for dampid workers.
+func (s *Service) ListenWorkers(addr string) (net.Listener, error) {
+	return s.cfg.Server.ListenAndServe(addr)
+}

@@ -1,0 +1,530 @@
+package jobqueue
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"dampi/internal/dcoord"
+)
+
+// Store directory layout. Everything lives under one root so backup/move is
+// a directory copy:
+//
+//	wal.jsonl      append-only journal: one {op, job|id} record per line
+//	snapshot.json  periodic full-state snapshot; the WAL is truncated after
+//	ckp/<id>.json  per-job frontier checkpoints (dexplore.Checkpoint)
+//	reports/<id>.json  per-job merged reports (JobReport)
+const (
+	walFile      = "wal.jsonl"
+	snapshotFile = "snapshot.json"
+	ckpDir       = "ckp"
+	reportsDir   = "reports"
+)
+
+// walRecord is one journal line. Op "put" carries the job's full new state
+// (records are idempotent: replaying a prefix twice converges); op "delete"
+// removes it.
+type walRecord struct {
+	Op  string `json:"op"`
+	Job *Job   `json:"job,omitempty"`
+	ID  string `json:"id,omitempty"`
+}
+
+// snapshot is the full-state file. NextID persists the ID allocator across
+// WAL truncation so deleted jobs never resurrect an ID.
+type snapshot struct {
+	Version int    `json:"version"`
+	NextID  uint64 `json:"next_id"`
+	Jobs    []*Job `json:"jobs"`
+}
+
+// Store is the durable job table: an in-memory map backed by the WAL. Every
+// mutation appends (and fsyncs) one record before returning, so an
+// acknowledged submission survives any crash; a snapshot every
+// snapshotEvery records bounds replay time.
+type Store struct {
+	dir           string
+	snapshotEvery int
+	now           func() time.Time // test seam
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	wal        *os.File
+	walRecords int
+	nextID     uint64
+	closed     bool
+}
+
+// StoreConfig configures a Store.
+type StoreConfig struct {
+	// Dir is the persistence root; created if missing.
+	Dir string
+	// SnapshotEvery is the WAL record count that triggers a snapshot +
+	// truncate. Default 256.
+	SnapshotEvery int
+}
+
+// OpenStore opens (or creates) the job store at cfg.Dir, replaying the
+// snapshot and WAL. Jobs found in Running or Merging were in flight when the
+// previous process died; they are reverted to Queued — with their attempt
+// count intact, so the service resumes them from their frontier checkpoints.
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("jobqueue: store dir required")
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
+	}
+	for _, d := range []string{cfg.Dir, filepath.Join(cfg.Dir, ckpDir), filepath.Join(cfg.Dir, reportsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("jobqueue: %w", err)
+		}
+	}
+	s := &Store{
+		dir:           cfg.Dir,
+		snapshotEvery: cfg.SnapshotEvery,
+		now:           time.Now,
+		jobs:          make(map[string]*Job),
+		nextID:        1,
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(cfg.Dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobqueue: open wal: %w", err)
+	}
+	s.wal = wal
+
+	// Crash recovery: in-flight jobs go back to the queue, durably — if we
+	// crashed again before touching them, the next replay would redo the same
+	// deterministic recovery, but persisting it keeps the WAL the single
+	// source of truth for state history.
+	var recovered []*Job
+	for _, j := range s.jobs {
+		if j.State == Running || j.State == Merging {
+			j.State = Queued
+			recovered = append(recovered, j)
+		}
+	}
+	sort.Slice(recovered, func(i, k int) bool { return recovered[i].ID < recovered[k].ID })
+	for _, j := range recovered {
+		if err := s.append(walRecord{Op: "put", Job: j}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// load replays snapshot.json then wal.jsonl into s.jobs and s.nextID.
+func (s *Store) load() error {
+	snapPath := filepath.Join(s.dir, snapshotFile)
+	if body, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fmt.Errorf("jobqueue: corrupt snapshot %s: %w", snapPath, err)
+		}
+		for _, j := range snap.Jobs {
+			s.jobs[j.ID] = j
+		}
+		if snap.NextID > s.nextID {
+			s.nextID = snap.NextID
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+
+	walPath := filepath.Join(s.dir, walFile)
+	f, err := os.Open(walPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final write from the crash: everything before it is
+			// intact, the un-acknowledged tail is discarded.
+			break
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Job != nil {
+				s.jobs[rec.Job.ID] = rec.Job
+				if n := idNumber(rec.Job.ID); n >= s.nextID {
+					s.nextID = n + 1
+				}
+			}
+		case "delete":
+			delete(s.jobs, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jobqueue: read wal: %w", err)
+	}
+	for id := range s.jobs {
+		if n := idNumber(id); n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	return nil
+}
+
+// idNumber parses the numeric part of a job ID ("j000042" → 42); 0 when the
+// ID is foreign.
+func idNumber(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// append writes one WAL record durably (fsync before return) and triggers a
+// snapshot when the journal has grown enough. Callers hold s.mu.
+func (s *Store) append(rec walRecord) error {
+	body, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("jobqueue: marshal wal record: %w", err)
+	}
+	body = append(body, '\n')
+	if _, err := s.wal.Write(body); err != nil {
+		return fmt.Errorf("jobqueue: write wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("jobqueue: sync wal: %w", err)
+	}
+	s.walRecords++
+	if s.walRecords >= s.snapshotEvery {
+		return s.snapshotLocked()
+	}
+	return nil
+}
+
+// snapshotLocked writes the full state to snapshot.json (write-temp-rename,
+// so a crash mid-snapshot leaves the old one intact) and truncates the WAL.
+// Callers hold s.mu.
+func (s *Store) snapshotLocked() error {
+	snap := snapshot{Version: 1, NextID: s.nextID, Jobs: make([]*Job, 0, len(s.jobs))}
+	for _, j := range s.jobs {
+		snap.Jobs = append(snap.Jobs, j)
+	}
+	sort.Slice(snap.Jobs, func(i, k int) bool { return snap.Jobs[i].ID < snap.Jobs[k].ID })
+	body, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobqueue: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+	// The snapshot now holds everything; restart the journal. Order matters:
+	// truncating before the rename could lose acknowledged records.
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobqueue: reopen wal: %w", err)
+	}
+	s.wal = wal
+	s.walRecords = 0
+	return nil
+}
+
+// put persists a job's full state. Callers hold s.mu.
+func (s *Store) put(j *Job) error {
+	s.jobs[j.ID] = j
+	return s.append(walRecord{Op: "put", Job: j})
+}
+
+// Submit accepts a job. When an active job (queued, running or merging)
+// already covers the same spec, that job is returned with dup=true instead
+// of queueing a byte-identical exploration twice.
+func (s *Store) Submit(spec dcoord.JobSpec, ttl time.Duration) (*Job, bool, error) {
+	if err := validateSpec(&spec); err != nil {
+		return nil, false, err
+	}
+	key := spec.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("jobqueue: store closed")
+	}
+	for _, j := range s.jobs {
+		if j.SpecKey == key && j.State.active() {
+			return j.clone(), true, nil
+		}
+	}
+	j := &Job{
+		ID:          fmt.Sprintf("j%06d", s.nextID),
+		Spec:        spec,
+		SpecKey:     key,
+		State:       Queued,
+		SubmittedAt: s.now().UTC(),
+	}
+	if ttl > 0 {
+		j.TTLSec = int64(ttl / time.Second)
+	}
+	s.nextID++
+	if err := s.put(j); err != nil {
+		return nil, false, err
+	}
+	return j.clone(), false, nil
+}
+
+// Get returns a copy of the job.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.clone(), true
+}
+
+// List returns copies of every job, sorted by ID (submission order).
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.clone())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// NextQueued returns a copy of the oldest queued job, if any.
+func (s *Store) NextQueued() (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Job
+	for _, j := range s.jobs {
+		if j.State != Queued {
+			continue
+		}
+		if best == nil || j.ID < best.ID {
+			best = j
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best.clone(), true
+}
+
+// Counts tallies jobs per state (every state present, so metrics series
+// never disappear).
+func (s *Store) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[State]int{Queued: 0, Running: 0, Merging: 0, Done: 0, Failed: 0}
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// update applies fn to the job under the lock and persists the result. fn
+// returning an error aborts without persisting.
+func (s *Store) update(id string, fn func(*Job) error) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("jobqueue: store closed")
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobqueue: no job %s", id)
+	}
+	if err := fn(j); err != nil {
+		return nil, err
+	}
+	if err := s.put(j); err != nil {
+		return nil, err
+	}
+	return j.clone(), nil
+}
+
+// SetState moves a job along a legal state-machine edge, stamping the
+// lifecycle times. msg becomes the failure reason when to == Failed.
+func (s *Store) SetState(id string, to State, msg string) (*Job, error) {
+	return s.update(id, func(j *Job) error {
+		if !canTransition(j.State, to) {
+			return fmt.Errorf("jobqueue: job %s: illegal transition %s → %s", id, j.State, to)
+		}
+		now := s.now().UTC()
+		switch to {
+		case Running:
+			j.StartedAt = now
+			j.Attempts++
+		case Done, Failed:
+			j.FinishedAt = now
+		}
+		if to == Failed {
+			j.Error = msg
+		}
+		j.State = to
+		return nil
+	})
+}
+
+// RequestCancel durably marks cancellation intent on an active job.
+func (s *Store) RequestCancel(id string) (*Job, error) {
+	return s.update(id, func(j *Job) error {
+		if j.State.Terminal() {
+			return fmt.Errorf("jobqueue: job %s already %s", id, j.State)
+		}
+		j.CancelRequested = true
+		return nil
+	})
+}
+
+// SetSummary records the finished job's headline counters.
+func (s *Store) SetSummary(id string, rep *JobReport) (*Job, error) {
+	return s.update(id, func(j *Job) error {
+		j.Interleavings = rep.Interleavings
+		j.ErrorsFound = len(rep.Errors)
+		j.Deadlocks = rep.Deadlocks
+		j.HasReport = true
+		return nil
+	})
+}
+
+// Delete removes a terminal job and its on-disk artifacts. Active jobs must
+// be cancelled first — deleting the record under a live exploration would
+// orphan it.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobqueue: store closed")
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobqueue: no job %s", id)
+	}
+	if !j.State.Terminal() {
+		return fmt.Errorf("jobqueue: job %s is %s; cancel it first", id, j.State)
+	}
+	delete(s.jobs, id)
+	if err := s.append(walRecord{Op: "delete", ID: id}); err != nil {
+		return err
+	}
+	os.Remove(s.CheckpointPath(id))
+	os.Remove(s.ReportPath(id))
+	return nil
+}
+
+// SweepExpired fails queued jobs past their deadline and returns the IDs of
+// running/merging jobs past theirs — those hold live cluster work, so the
+// caller (the service) cancels the exploration and records the failure when
+// the drain completes.
+func (s *Store) SweepExpired() ([]string, error) {
+	now := s.now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var overdue []string
+	for _, j := range s.jobs {
+		d := j.Deadline()
+		if d.IsZero() || now.Before(d) {
+			continue
+		}
+		switch j.State {
+		case Queued:
+			j.State = Failed
+			j.Error = "ttl expired"
+			j.FinishedAt = now
+			if err := s.put(j); err != nil {
+				return overdue, err
+			}
+		case Running, Merging:
+			overdue = append(overdue, j.ID)
+		}
+	}
+	sort.Strings(overdue)
+	return overdue, nil
+}
+
+// CheckpointPath is where the job's frontier checkpoint lives.
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.dir, ckpDir, id+".json")
+}
+
+// ReportPath is where the job's merged report lives.
+func (s *Store) ReportPath(id string) string {
+	return filepath.Join(s.dir, reportsDir, id+".json")
+}
+
+// SaveReport persists the merged report (write-temp-rename).
+func (s *Store) SaveReport(id string, rep *JobReport) error {
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobqueue: marshal report: %w", err)
+	}
+	path := s.ReportPath(id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("jobqueue: %w", err)
+	}
+	return nil
+}
+
+// LoadReport reads a persisted report.
+func (s *Store) LoadReport(id string) (*JobReport, error) {
+	body, err := os.ReadFile(s.ReportPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("jobqueue: %w", err)
+	}
+	var rep JobReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("jobqueue: corrupt report for %s: %w", id, err)
+	}
+	return &rep, nil
+}
+
+// Snapshot forces a snapshot + WAL truncation (shutdown hygiene; crash
+// safety never depends on it).
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobqueue: store closed")
+	}
+	return s.snapshotLocked()
+}
+
+// Close releases the WAL handle. The store stays readable from disk; this
+// process just stops writing.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}

@@ -1,0 +1,354 @@
+package jobqueue
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dampi/internal/core"
+	"dampi/internal/dcoord"
+)
+
+// testSpec builds a valid job spec; procs varies the dedup key.
+func testSpec(procs int) dcoord.JobSpec {
+	return dcoord.JobSpec{
+		Workload:    "fanin",
+		Procs:       procs,
+		Clock:       core.Lamport,
+		Transport:   core.Separate,
+		MixingBound: 1,
+	}
+}
+
+func openTestStore(t *testing.T, dir string, every int) *Store {
+	t.Helper()
+	s, err := OpenStore(StoreConfig{Dir: dir, SnapshotEvery: every})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+func TestStoreSubmitAssignsSequentialIDs(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	j1, dup, err := s.Submit(testSpec(3), 0)
+	if err != nil || dup {
+		t.Fatalf("submit 1: job=%v dup=%v err=%v", j1, dup, err)
+	}
+	j2, dup, err := s.Submit(testSpec(4), 0)
+	if err != nil || dup {
+		t.Fatalf("submit 2: job=%v dup=%v err=%v", j2, dup, err)
+	}
+	if j1.ID != "j000001" || j2.ID != "j000002" {
+		t.Errorf("IDs = %s, %s; want j000001, j000002", j1.ID, j2.ID)
+	}
+	if j1.State != Queued || j1.SpecKey == "" {
+		t.Errorf("submitted job = %+v; want queued with a spec key", j1)
+	}
+}
+
+func TestStoreSubmitRejectsInvalidSpec(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	if _, _, err := s.Submit(dcoord.JobSpec{Procs: 3}, 0); err == nil {
+		t.Error("spec without a workload name was accepted")
+	}
+	if _, _, err := s.Submit(dcoord.JobSpec{Workload: "fanin", Procs: 0}, 0); err == nil {
+		t.Error("spec with zero procs was accepted")
+	}
+}
+
+// TestStoreSubmitDedup: an identical spec maps onto the active job instead of
+// queueing the same exploration twice — but once that job is terminal, a new
+// submission is a genuinely new job.
+func TestStoreSubmitDedup(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	j1, _, err := s.Submit(testSpec(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalization must participate in the key: Scale 0 means 100.
+	spec := testSpec(3)
+	spec.Scale = 100
+	spec.Iters = 4
+	j2, dup, err := s.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup || j2.ID != j1.ID {
+		t.Errorf("normalized duplicate: got job %s dup=%v, want %s dup=true", j2.ID, dup, j1.ID)
+	}
+	if _, err := s.SetState(j1.ID, Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, dup, _ = s.Submit(testSpec(3), 0); !dup {
+		t.Error("running job did not dedup")
+	}
+	if _, err := s.SetState(j1.ID, Failed, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	j3, dup, err := s.Submit(testSpec(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup || j3.ID == j1.ID {
+		t.Errorf("resubmission after terminal state: got %s dup=%v, want a fresh job", j3.ID, dup)
+	}
+}
+
+func TestStoreStateMachine(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	j, _, err := s.Submit(testSpec(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState(j.ID, Merging, ""); err == nil {
+		t.Error("queued → merging was allowed")
+	}
+	if _, err := s.SetState(j.ID, Done, ""); err == nil {
+		t.Error("queued → done was allowed")
+	}
+	cur, err := s.SetState(j.ID, Running, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Attempts != 1 || cur.StartedAt.IsZero() {
+		t.Errorf("running job = attempts %d startedAt %v; want 1, stamped", cur.Attempts, cur.StartedAt)
+	}
+	if _, err := s.SetState(j.ID, Merging, ""); err != nil {
+		t.Fatal(err)
+	}
+	cur, err = s.SetState(j.ID, Done, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.FinishedAt.IsZero() {
+		t.Error("done job has no FinishedAt")
+	}
+	if _, err := s.SetState(j.ID, Running, ""); err == nil {
+		t.Error("done → running was allowed")
+	}
+	if _, err := s.SetState(j.ID, Failed, "x"); err == nil {
+		t.Error("done → failed was allowed")
+	}
+}
+
+// TestStoreRecovery: reopening the store reverts in-flight jobs to queued
+// with their attempt count intact (so the service resumes from checkpoints),
+// and leaves terminal jobs untouched.
+func TestStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	jQueued, _, _ := s.Submit(testSpec(3), 0)
+	jRunning, _, _ := s.Submit(testSpec(4), 0)
+	jDone, _, _ := s.Submit(testSpec(5), 0)
+	if _, err := s.SetState(jRunning.ID, Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []State{Running, Merging, Done} {
+		if _, err := s.SetState(jDone.ID, st, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // no final snapshot: recovery must work from the WAL alone
+
+	r := openTestStore(t, dir, 0)
+	defer r.Close()
+	got, ok := r.Get(jRunning.ID)
+	if !ok || got.State != Queued || got.Attempts != 1 {
+		t.Errorf("recovered running job = %+v; want queued with attempts=1", got)
+	}
+	if got, _ := r.Get(jQueued.ID); got.State != Queued {
+		t.Errorf("queued job became %s", got.State)
+	}
+	if got, _ := r.Get(jDone.ID); got.State != Done {
+		t.Errorf("done job became %s", got.State)
+	}
+	counts := r.Counts()
+	if counts[Queued] != 2 || counts[Done] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Oldest queued wins dispatch.
+	next, ok := r.NextQueued()
+	if !ok || next.ID != jQueued.ID {
+		t.Errorf("NextQueued = %v, want %s", next, jQueued.ID)
+	}
+}
+
+// TestStoreSnapshotTruncatesWAL: crossing SnapshotEvery must fold the journal
+// into snapshot.json and restart the WAL, and a reopen from that layout sees
+// the same jobs.
+func TestStoreSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 4)
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Submit(testSpec(3+i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 submissions with SnapshotEvery=4: the 4th triggered the snapshot, so
+	// only the 5th lives in the restarted journal.
+	if info.Size() == 0 {
+		t.Error("WAL empty; the post-snapshot record is missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	s.Close()
+
+	r := openTestStore(t, dir, 0)
+	defer r.Close()
+	if got := len(r.List()); got != 5 {
+		t.Errorf("reopened store has %d jobs, want 5", got)
+	}
+}
+
+// TestStoreTornWALTail: a crash can tear the final WAL write mid-line; replay
+// keeps everything before it and discards the unacknowledged tail.
+func TestStoreTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	j, _, err := s.Submit(testSpec(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","job":{"id":"j0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openTestStore(t, dir, 0)
+	defer r.Close()
+	if got, ok := r.Get(j.ID); !ok || got.State != Queued {
+		t.Errorf("job lost to the torn tail: %v %v", got, ok)
+	}
+	if got := len(r.List()); got != 1 {
+		t.Errorf("store has %d jobs, want 1", got)
+	}
+}
+
+// TestStoreIDsNeverReused: the ID allocator must survive delete + snapshot +
+// reopen, or a new job could collide with an old job's checkpoint and report
+// files.
+func TestStoreIDsNeverReused(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	j1, _, _ := s.Submit(testSpec(3), 0)
+	if _, err := s.SetState(j1.ID, Failed, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openTestStore(t, dir, 0)
+	defer r.Close()
+	j2, _, err := r.Submit(testSpec(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID == j1.ID {
+		t.Errorf("deleted ID %s was reissued", j1.ID)
+	}
+}
+
+func TestStoreDeleteRefusesActive(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	j, _, _ := s.Submit(testSpec(3), 0)
+	if err := s.Delete(j.ID); err == nil {
+		t.Error("deleting a queued job succeeded")
+	}
+	if _, err := s.SetState(j.ID, Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(j.ID); err == nil {
+		t.Error("deleting a running job succeeded")
+	}
+	if _, err := s.SetState(j.ID, Failed, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(j.ID); err != nil {
+		t.Errorf("deleting a failed job: %v", err)
+	}
+	if _, ok := s.Get(j.ID); ok {
+		t.Error("deleted job still present")
+	}
+}
+
+// TestStoreTTLSweep drives the clock through the test seam: expired queued
+// jobs fail in place, expired running jobs are reported for cancellation.
+func TestStoreTTLSweep(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return base }
+
+	jShort, _, _ := s.Submit(testSpec(3), 10*time.Second)
+	jRun, _, _ := s.Submit(testSpec(4), 10*time.Second)
+	jLong, _, _ := s.Submit(testSpec(5), time.Hour)
+	jForever, _, _ := s.Submit(testSpec(6), 0)
+	if _, err := s.SetState(jRun.ID, Running, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	overdue, err := s.SweepExpired()
+	if err != nil || len(overdue) != 0 {
+		t.Fatalf("premature sweep: overdue=%v err=%v", overdue, err)
+	}
+
+	s.now = func() time.Time { return base.Add(30 * time.Second) }
+	overdue, err = s.SweepExpired()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overdue) != 1 || overdue[0] != jRun.ID {
+		t.Errorf("overdue = %v, want [%s]", overdue, jRun.ID)
+	}
+	if got, _ := s.Get(jShort.ID); got.State != Failed || got.Error != "ttl expired" {
+		t.Errorf("expired queued job = %+v", got)
+	}
+	if got, _ := s.Get(jLong.ID); got.State != Queued {
+		t.Errorf("hour-TTL job swept early: %s", got.State)
+	}
+	if got, _ := s.Get(jForever.ID); got.State != Queued {
+		t.Errorf("no-TTL job swept: %s", got.State)
+	}
+}
+
+func TestStoreReportRoundtrip(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	defer s.Close()
+	j, _, _ := s.Submit(testSpec(3), 0)
+	rep := &JobReport{Workload: "fanin", Procs: 3, Interleavings: 7, ElapsedSec: 1.5}
+	if err := s.SaveReport(j.ID, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadReport(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "fanin" || got.Procs != 3 || got.Interleavings != 7 || got.ElapsedSec != 1.5 {
+		t.Errorf("report roundtrip = %+v", got)
+	}
+	if _, err := s.LoadReport("j999999"); err == nil {
+		t.Error("loading a missing report succeeded")
+	}
+}

@@ -43,6 +43,12 @@ type ClusterConfig struct {
 	Slots int
 	// WorkerName identifies the worker in status output (default host:pid).
 	WorkerName string
+	// Scale and Iters are the workload parameters the worker's program was
+	// built with. Single-job coordinators ignore them; a job-queue server
+	// uses them to dispatch only matching jobs to a pinned worker (0 =
+	// unknown, matches any job).
+	Scale int
+	Iters int
 	// OnEvent, if non-nil, receives worker lifecycle lines for logging.
 	OnEvent func(string)
 }
@@ -186,6 +192,8 @@ func Join(cfg ClusterConfig, program func(p *mpi.Proc) error) (*Worker, error) {
 		Slots:       cfg.Slots,
 		Fingerprint: cfg.fingerprint(),
 		Explorer:    cfg.explorerConfig(program),
+		Scale:       cfg.Scale,
+		Iters:       cfg.Iters,
 		OnEvent:     cfg.OnEvent,
 	})
 	return &Worker{w: w}, nil
