@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Static prune-hint smoke test: for each workload below, an exploration with
+# -static-prune must produce the same verdict as the unpruned one, and on
+# fanin (whose wildcard is statically deterministic) it must cover strictly
+# fewer interleavings with the k=0 counting identity
+# unpruned = pruned + pruned(static).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dampi" ./cmd/dampi
+
+# Keep only the order-independent verdict body. Interleaving counts differ
+# by design (that is the point of pruning); errors/deadlocks/leaks must not.
+normalize() {
+  grep -E '^DAMPI:|error in interleaving|reproducer' "$1" \
+    | sed 's/#[0-9]*//; s/ pruned(static)=[0-9]*//; s/interleavings=[0-9]*//' | sort
+}
+
+field() { # field FILE KEY -> value of "key=N" on the DAMPI: line (0 if absent)
+  grep '^DAMPI:' "$1" | grep -o "$2=[0-9]*" | cut -d= -f2 || echo 0
+}
+
+check_workload() { # name procs srcdir
+  local name=$1 procs=$2 src=$3
+  "$workdir/dampi" -workload "$name" -procs "$procs" -k 0 >"$workdir/$name.plain.txt"
+  "$workdir/dampi" -workload "$name" -procs "$procs" -k 0 -static-prune "$src" >"$workdir/$name.pruned.txt"
+  if ! diff <(normalize "$workdir/$name.plain.txt") <(normalize "$workdir/$name.pruned.txt"); then
+    echo "FAIL: $name verdict differs between pruned and unpruned runs" >&2
+    exit 1
+  fi
+  echo "OK: $name pruned/unpruned verdicts identical"
+}
+
+check_workload fanin 4 ./workloads/fanin
+check_workload matmul 4 ./workloads/matmul
+
+# fanin must actually prune: strictly fewer interleavings, exact accounting.
+un=$(field "$workdir/fanin.plain.txt" interleavings)
+pr=$(field "$workdir/fanin.pruned.txt" interleavings)
+sk=$(field "$workdir/fanin.pruned.txt" 'pruned(static)')
+if [ "$sk" -eq 0 ] || [ "$pr" -ge "$un" ] || [ $((pr + sk)) -ne "$un" ]; then
+  echo "FAIL: fanin pruning accounting: unpruned=$un pruned=$pr skipped=$sk" >&2
+  exit 1
+fi
+echo "OK: fanin pruned $sk of $un branches (explored $pr), identity holds"

@@ -10,6 +10,7 @@
 //	dampi -workload 104.milc -procs 64 -leaks
 //	dampi -workload matmul -procs 4 -baseline isp
 //	dampi -lint ./workloads/... -workload adlb -procs 8
+//	dampi -workload fanin -procs 4 -k 0 -static-prune ./workloads/fanin
 //	dampi -serve :9477 -status :9478 -workload matmul -procs 6 -k 1
 //	dampi -join host:9477 -workload matmul -procs 6 -k 1 -slots 4
 //	dampi -serve :9477 -queue -api :9478 -store /var/lib/dampi
@@ -39,7 +40,18 @@
 // printed alongside the coverage report so the statically-found
 // non-determinism sites can be compared with what exploration exercised.
 // With -lint but no -workload, dampi lints and exits (status 1 if any
-// non-suppressed finding).
+// non-suppressed finding). Error-severity lint findings floor the exit code
+// at 1 even when exploration runs and passes.
+//
+// The -static-prune PATH flag statically analyzes the workload's Go sources
+// (the same communication-graph analysis behind mpilint's orphan/
+// tagmismatch/wilddet/cycle checks) and derives prune hints: wildcard
+// decision points whose statically feasible, payload-type-refined sender
+// set is a singleton are not branched on, and the skipped branches are
+// reported as "branches pruned (static)". Every observed match is
+// cross-checked against the hints at runtime; a mismatch disables pruning
+// for the rest of the run and prints a warning. Local engines only
+// (incompatible with -serve, -join, and -submit).
 package main
 
 import (
@@ -93,11 +105,16 @@ func main() {
 		ckpEvery   = flag.Int("checkpoint-every", 0, "replays between checkpoint writes (0 = default)")
 		resume     = flag.Bool("resume", false, "resume exploration from -checkpoint")
 		lintPath   = flag.String("lint", "", "run the mpilint static analyzer over Go sources at PATH first")
+		prunePath  = flag.String("static-prune", "", "derive static prune hints from the workload's Go sources at PATH (local engines only)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the exploration to FILE")
 		memProf    = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 		verbose    = flag.Bool("v", false, "print each interleaving as it is explored")
 	)
 	flag.Parse()
+
+	if *prunePath != "" && (*serve != "" || *join != "" || *submitURL != "") {
+		fatal(fmt.Errorf("-static-prune is a local-engine feature; it cannot be combined with -serve, -join, or -submit"))
+	}
 
 	if *cpuProf != "" || *memProf != "" {
 		stop, err := startProfiles(*cpuProf, *memProf)
@@ -130,12 +147,14 @@ func main() {
 		for _, d := range rep.Failing() {
 			fmt.Printf("lint: %s\n", d)
 		}
+		if len(rep.Failing()) > 0 {
+			// Exploration may still run (and find more), but the process must
+			// not exit 0 past error-severity findings.
+			exitFloor = 1
+		}
 		if *name == "" {
 			for _, d := range rep.Wildcards() {
 				fmt.Printf("lint: %s\n", d)
-			}
-			if len(rep.Failing()) > 0 {
-				exit(1)
 			}
 			exit(0)
 		}
@@ -245,6 +264,23 @@ func main() {
 		fatal(fmt.Errorf("-serve and -join are mutually exclusive"))
 	}
 
+	var hints *verify.PruneHints
+	if *prunePath != "" {
+		h, notes, err := verify.StaticHints(*prunePath, *procs)
+		if err != nil {
+			fatal(fmt.Errorf("static-prune: %w", err))
+		}
+		hints = h
+		if hints == nil {
+			fmt.Printf("static-prune: no hints derived from %s; exploring without pruning\n", *prunePath)
+		}
+		if *verbose {
+			for _, n := range notes {
+				fmt.Printf("static-prune: %s\n", n)
+			}
+		}
+	}
+
 	cfg := verify.Config{
 		Procs:             *procs,
 		Clock:             cm,
@@ -260,6 +296,7 @@ func main() {
 		CheckpointFile:    *ckpFile,
 		CheckpointEvery:   *ckpEvery,
 		Resume:            *resume,
+		PruneHints:        hints,
 	}
 
 	if *serve != "" || *join != "" {
@@ -325,7 +362,8 @@ func main() {
 	}
 	if lintRep != nil {
 		if wc := lintRep.Wildcards(); len(wc) > 0 {
-			fmt.Printf("  static wildcard audit (%d receive sites in %s):\n", len(wc), *lintPath)
+			fmt.Printf("  static wildcard audit (%d sites, %d dynamic choice points in %s):\n",
+				len(wc), len(lintRep.ChoicePoints()), *lintPath)
 			for _, d := range wc {
 				fmt.Printf("    %s\n", d)
 			}
@@ -359,6 +397,11 @@ func main() {
 // stopProfiles flushes any active profiles; every termination path must go
 // through exit() so profiles survive os.Exit.
 var stopProfiles func()
+
+// exitFloor is the minimum exit code of this process: set to 1 when the
+// -lint pass found error-severity diagnostics, so a clean exploration cannot
+// mask a failing lint.
+var exitFloor int
 
 // startProfiles begins CPU profiling (if cpu is set) and returns a stop
 // function that ends it and writes the heap profile (if mem is set).
@@ -395,11 +438,20 @@ func startProfiles(cpu, mem string) (func(), error) {
 	}, nil
 }
 
+// floored raises code to the exit floor, so no success path can report 0
+// past a failing lint.
+func floored(code int) int {
+	if code < exitFloor {
+		return exitFloor
+	}
+	return code
+}
+
 func exit(code int) {
 	if stopProfiles != nil {
 		stopProfiles()
 	}
-	os.Exit(code)
+	os.Exit(floored(code))
 }
 
 func fatal(err error) {

@@ -15,6 +15,12 @@ func printReportHead(res *verify.Result) {
 	for _, u := range res.Unsafe {
 		fmt.Printf("  warning: %v\n", u)
 	}
+	if res.StaticPruned > 0 || res.PruneDisabled {
+		fmt.Printf("  branches pruned (static): %d\n", res.StaticPruned)
+	}
+	for _, v := range res.PruneViolations {
+		fmt.Printf("  warning: %v (static pruning disabled for this run)\n", v)
+	}
 }
 
 // printReportErrors prints each failing interleaving with its epoch-decisions

@@ -16,6 +16,7 @@
 //	mpilint -checks rleak,cleak ./workloads/...
 //	mpilint -json ./examples/quickstart
 //	mpilint -audit ./workloads/adlb
+//	mpilint -graph graph.dot -graph-size 4 ./examples/...
 //
 // Diagnostics print as "file:line: [check] message". The exit code is 0
 // when no failing (error-severity, non-suppressed) diagnostics were found,
@@ -30,6 +31,7 @@ import (
 	"sort"
 	"strings"
 
+	"dampi/internal/commgraph"
 	"dampi/internal/mpilint"
 )
 
@@ -41,6 +43,8 @@ func main() {
 		suppressed = flag.Bool("suppressed", false, "also print suppressed diagnostics")
 		tests      = flag.Bool("tests", false, "also analyze _test.go files")
 		listChecks = flag.Bool("list-checks", false, "list the available checks and exit")
+		graphOut   = flag.String("graph", "", "write the static communication graph of every program root to this file (Graphviz DOT; \"-\" for stdout)")
+		graphSize  = flag.Int("graph-size", 4, "world size to instantiate -graph output at")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mpilint [flags] [path ...]\n")
@@ -72,6 +76,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *graphOut != "" {
+		if err := writeGraphs(*graphOut, *graphSize, paths, *tests); err != nil {
+			fmt.Fprintf(os.Stderr, "mpilint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *jsonFlag {
 		out, err := rep.JSON()
 		if err != nil {
@@ -97,4 +108,32 @@ func main() {
 	if len(rep.Failing()) > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeGraphs extracts every program root under paths and dumps its
+// instantiated match graph as DOT (one graph per root; Graphviz treats a
+// multi-graph stream as pages).
+func writeGraphs(out string, size int, paths []string, tests bool) error {
+	sums, err := mpilint.ProgramSummaries(paths, mpilint.Options{IncludeTests: tests})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, sum := range sums {
+		if !sum.Complete {
+			fmt.Fprintf(os.Stderr, "mpilint: %s (%s:%d): summary incomplete, graph omitted: %s\n",
+				sum.Name, sum.File, sum.Line, strings.Join(sum.Notes, "; "))
+			continue
+		}
+		commgraph.WriteDOT(w, sum.Instantiate(size))
+	}
+	return nil
 }

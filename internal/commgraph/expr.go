@@ -1,0 +1,285 @@
+package commgraph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Expr is a symbolic integer expression over a process's world rank and the
+// world size, the vocabulary rank/tag/peer arguments of MPI calls are written
+// in (literals, consts, rank±c, size-1, (rank+c)%size, ...). A nil *Expr
+// means "statically unresolved".
+type Expr struct {
+	kind exprKind
+	a, b *Expr
+	c    int
+}
+
+type exprKind int
+
+const (
+	eConst exprKind = iota
+	eRank
+	eSize
+	eAdd
+	eSub
+	eMul
+	eDiv
+	eMod
+)
+
+// Const builds a constant expression.
+func Const(c int) *Expr { return &Expr{kind: eConst, c: c} }
+
+// Rank is the executing process's world rank.
+func Rank() *Expr { return &Expr{kind: eRank} }
+
+// Size is the world size.
+func Size() *Expr { return &Expr{kind: eSize} }
+
+// Bin builds a binary expression for op in "+-*/%". It returns nil (the
+// unresolved expression) when either operand is nil or the operator is not
+// supported.
+func Bin(op string, a, b *Expr) *Expr {
+	if a == nil || b == nil {
+		return nil
+	}
+	var k exprKind
+	switch op {
+	case "+":
+		k = eAdd
+	case "-":
+		k = eSub
+	case "*":
+		k = eMul
+	case "/":
+		k = eDiv
+	case "%":
+		k = eMod
+	default:
+		return nil
+	}
+	return &Expr{kind: k, a: a, b: b}
+}
+
+// Neg negates an expression.
+func Neg(a *Expr) *Expr { return Bin("-", Const(0), a) }
+
+// Eval evaluates the expression for one (rank, size) instantiation. ok is
+// false for a nil expression and for division/modulo by zero.
+func (e *Expr) Eval(rank, size int) (int, bool) {
+	if e == nil {
+		return 0, false
+	}
+	switch e.kind {
+	case eConst:
+		return e.c, true
+	case eRank:
+		return rank, true
+	case eSize:
+		return size, true
+	}
+	av, aok := e.a.Eval(rank, size)
+	bv, bok := e.b.Eval(rank, size)
+	if !aok || !bok {
+		return 0, false
+	}
+	switch e.kind {
+	case eAdd:
+		return av + bv, true
+	case eSub:
+		return av - bv, true
+	case eMul:
+		return av * bv, true
+	case eDiv:
+		if bv == 0 {
+			return 0, false
+		}
+		return av / bv, true
+	case eMod:
+		if bv == 0 {
+			return 0, false
+		}
+		// Go's % can go negative; MPI rank arithmetic wants the wrapped value.
+		m := av % bv
+		if m < 0 && bv > 0 {
+			m += bv
+		}
+		return m, true
+	}
+	return 0, false
+}
+
+// IsConst reports whether the expression is the given constant.
+func (e *Expr) IsConst(c int) bool { return e != nil && e.kind == eConst && e.c == c }
+
+func (e *Expr) String() string {
+	if e == nil {
+		return "?"
+	}
+	switch e.kind {
+	case eConst:
+		return strconv.Itoa(e.c)
+	case eRank:
+		return "rank"
+	case eSize:
+		return "size"
+	}
+	op := map[exprKind]string{eAdd: "+", eSub: "-", eMul: "*", eDiv: "/", eMod: "%"}[e.kind]
+	return fmt.Sprintf("(%s%s%s)", e.a, op, e.b)
+}
+
+// Cond is a symbolic boolean condition over rank and size: the guard under
+// which an operation executes. Evaluation is three-valued: a condition built
+// from unresolved parts evaluates to unknown.
+type Cond struct {
+	kind     condKind
+	op       string // for cCmp: == != < <= > >=
+	lhs, rhs *Expr
+	x, y     *Cond
+}
+
+type condKind int
+
+const (
+	cTrue condKind = iota
+	cFalse
+	cUnknown
+	cCmp
+	cAnd
+	cOr
+	cNot
+)
+
+// True is the empty guard.
+func True() *Cond { return &Cond{kind: cTrue} }
+
+// False is the unsatisfiable guard.
+func False() *Cond { return &Cond{kind: cFalse} }
+
+// Unknown is the guard of an unresolvable branch condition.
+func Unknown() *Cond { return &Cond{kind: cUnknown} }
+
+// Cmp builds a comparison guard; unresolved operands yield Unknown.
+func Cmp(op string, lhs, rhs *Expr) *Cond {
+	if lhs == nil || rhs == nil {
+		return Unknown()
+	}
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return &Cond{kind: cCmp, op: op, lhs: lhs, rhs: rhs}
+	}
+	return Unknown()
+}
+
+// And conjoins two guards.
+func And(x, y *Cond) *Cond {
+	if x == nil || x.kind == cTrue {
+		return y
+	}
+	if y == nil || y.kind == cTrue {
+		return x
+	}
+	return &Cond{kind: cAnd, x: x, y: y}
+}
+
+// Or disjoins two guards.
+func Or(x, y *Cond) *Cond {
+	if x == nil || y == nil {
+		return Unknown()
+	}
+	return &Cond{kind: cOr, x: x, y: y}
+}
+
+// Not negates a guard.
+func Not(x *Cond) *Cond {
+	if x == nil {
+		return Unknown()
+	}
+	switch x.kind {
+	case cTrue:
+		return False()
+	case cFalse:
+		return True()
+	case cUnknown:
+		return Unknown()
+	}
+	return &Cond{kind: cNot, x: x}
+}
+
+// Tri is a three-valued truth value.
+type Tri int
+
+// Truth values.
+const (
+	No Tri = iota
+	Yes
+	Maybe
+)
+
+// Eval evaluates the guard for one (rank, size) instantiation.
+func (c *Cond) Eval(rank, size int) Tri {
+	if c == nil {
+		return Yes
+	}
+	switch c.kind {
+	case cTrue:
+		return Yes
+	case cFalse:
+		return No
+	case cUnknown:
+		return Maybe
+	case cCmp:
+		lv, lok := c.lhs.Eval(rank, size)
+		rv, rok := c.rhs.Eval(rank, size)
+		if !lok || !rok {
+			return Maybe
+		}
+		var b bool
+		switch c.op {
+		case "==":
+			b = lv == rv
+		case "!=":
+			b = lv != rv
+		case "<":
+			b = lv < rv
+		case "<=":
+			b = lv <= rv
+		case ">":
+			b = lv > rv
+		case ">=":
+			b = lv >= rv
+		}
+		if b {
+			return Yes
+		}
+		return No
+	case cAnd:
+		xv, yv := c.x.Eval(rank, size), c.y.Eval(rank, size)
+		if xv == No || yv == No {
+			return No
+		}
+		if xv == Yes && yv == Yes {
+			return Yes
+		}
+		return Maybe
+	case cOr:
+		xv, yv := c.x.Eval(rank, size), c.y.Eval(rank, size)
+		if xv == Yes || yv == Yes {
+			return Yes
+		}
+		if xv == No && yv == No {
+			return No
+		}
+		return Maybe
+	case cNot:
+		switch c.x.Eval(rank, size) {
+		case Yes:
+			return No
+		case No:
+			return Yes
+		}
+		return Maybe
+	}
+	return Maybe
+}

@@ -1,0 +1,161 @@
+package commgraph
+
+import "sort"
+
+// Site is one (op, rank) instantiation of a summarized operation at a
+// concrete world size.
+type Site struct {
+	Op   *Op
+	Rank int
+	// Peer/Tag are the evaluated peer and tag; PeerKnown/TagKnown are false
+	// when the symbolic expression did not resolve.
+	Peer      int
+	PeerKnown bool
+	Tag       int
+	TagKnown  bool
+	// Certain: the site definitely executes (guard Yes, not conditional,
+	// not in a loop) with fully resolved peer/tag and a definitely-world
+	// communicator. Only certain sites produce findings.
+	Certain bool
+	// MayMatch: the site participates in match supersets (guard not No and
+	// communicator possibly world).
+	MayMatch bool
+}
+
+// Graph is the instantiated match graph of one summary at one world size.
+type Graph struct {
+	Summary *Summary
+	Size    int
+	// Sites per rank, in program order.
+	Sites [][]*Site
+}
+
+// Instantiate evaluates the summary at a concrete world size. Sites whose
+// guard is statically false are dropped; everything else is kept with
+// Certain/MayMatch flags describing how much the analysis may rely on them.
+func (s *Summary) Instantiate(size int) *Graph {
+	g := &Graph{Summary: s, Size: size, Sites: make([][]*Site, size)}
+	for r := 0; r < size; r++ {
+		for _, op := range s.Ops {
+			truth := op.Guard.Eval(r, size)
+			if truth == No {
+				continue
+			}
+			st := &Site{Op: op, Rank: r}
+			st.Peer, st.PeerKnown = op.Peer.Eval(r, size)
+			st.Tag, st.TagKnown = op.Tag.Eval(r, size)
+			st.MayMatch = op.Comm != CommOther
+			st.Certain = truth == Yes && !op.Conditional && !op.InLoop &&
+				op.Comm == CommWorld && st.PeerKnown && st.TagKnown
+			// A resolved peer outside the world (other than AnySource on a
+			// receive) would be a runtime error; don't treat it as certain
+			// and don't let it match anything.
+			if st.PeerKnown {
+				wild := (op.Kind == OpRecv || op.Kind == OpProbe) && st.Peer == -1
+				if !wild && (st.Peer < 0 || st.Peer >= size) {
+					st.Certain = false
+					st.MayMatch = false
+				}
+			}
+			g.Sites[r] = append(g.Sites[r], st)
+		}
+	}
+	return g
+}
+
+// sends returns every may-match send site.
+func (g *Graph) sends() []*Site {
+	var out []*Site
+	for _, sites := range g.Sites {
+		for _, st := range sites {
+			if st.Op.Kind == OpSend && st.MayMatch {
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+// recvs returns every may-match receive/probe site.
+func (g *Graph) recvs() []*Site {
+	var out []*Site
+	for _, sites := range g.Sites {
+		for _, st := range sites {
+			if (st.Op.Kind == OpRecv || st.Op.Kind == OpProbe) && st.MayMatch {
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether send site s could match receive site r under the
+// over-approximation: unknown peer/tag matches everything, AnySource/AnyTag
+// match everything on their dimension.
+func matches(s, r *Site) bool {
+	if !s.MayMatch || !r.MayMatch {
+		return false
+	}
+	// Destination: the send must be able to target r's rank.
+	if s.PeerKnown && s.Peer != r.Rank {
+		return false
+	}
+	// Source: the receive must be able to accept s's rank.
+	if r.PeerKnown && r.Peer != -1 && r.Peer != s.Rank {
+		return false
+	}
+	// Tag: AnyTag (-1) on the receive matches all tags.
+	if s.TagKnown && r.TagKnown && r.Tag != -1 && s.Tag != r.Tag {
+		return false
+	}
+	return true
+}
+
+// typeRefined reports whether the s→r match also survives the payload-type
+// refinement the dynamic matcher does not perform.
+func typeRefined(s, r *Site) bool {
+	return matches(s, r) && Compatible(s.Op.Payload, r.Op.Consume)
+}
+
+// MatchSet returns the sorted, deduplicated set of sender ranks that could
+// match receive site r; with refined set, matches are additionally filtered
+// by payload-type compatibility.
+func (g *Graph) MatchSet(r *Site, refined bool) []int {
+	seen := map[int]bool{}
+	for _, s := range g.sends() {
+		ok := matches(s, r)
+		if refined {
+			ok = typeRefined(s, r)
+		}
+		if ok {
+			seen[s.Rank] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RecvSet returns the sorted set of receiver ranks that could match send
+// site s.
+func (g *Graph) RecvSet(s *Site, refined bool) []int {
+	seen := map[int]bool{}
+	for _, r := range g.recvs() {
+		ok := matches(s, r)
+		if refined {
+			ok = typeRefined(s, r)
+		}
+		if ok {
+			seen[r.Rank] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package commgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HintKey identifies a wildcard decision point the way the dynamic engine
+// keys its epochs: the receiving rank, the posted tag (-1 for AnyTag), and
+// whether the epoch comes from a probe or a receive.
+type HintKey struct {
+	Rank  int
+	Tag   int
+	Probe bool
+}
+
+// HintEntry is the statically feasible, payload-type-refined sender set for
+// one wildcard decision point. The dynamic explorer may skip branching at
+// an epoch whose entry is a singleton; any observed match outside Senders
+// must disable the whole hint table for the run.
+type HintEntry struct {
+	Key     HintKey
+	Senders []int
+}
+
+// Hints derives prune hints from the summary at a concrete world size.
+// Derivation is deliberately conservative:
+//
+//   - an incomplete summary yields no hints at all;
+//   - a wildcard site whose tag cannot be resolved poisons every hint for
+//     its ranks (its epochs could collide with any key);
+//   - sites that may execute (conditional, in-loop) still contribute their
+//     sender sets, so the union over-approximates every execution path.
+//
+// The one place derivation is finer than the runtime matcher is payload
+// type; the runtime cross-check (internal/core.PruneHints.Observe) is the
+// safety net for that refinement.
+func Hints(sum *Summary, size int) ([]HintEntry, []string) {
+	if sum == nil {
+		return nil, []string{"no program summary"}
+	}
+	if !sum.Complete {
+		return nil, append([]string{fmt.Sprintf("summary of %s is incomplete; no hints", sum.Name)}, sum.Notes...)
+	}
+	g := sum.Instantiate(size)
+	sets := map[HintKey]map[int]bool{}
+	poisoned := map[int]bool{}
+	var notes []string
+	for r := 0; r < size; r++ {
+		for _, st := range g.Sites[r] {
+			if !st.Op.Wildcard() || !st.MayMatch {
+				continue
+			}
+			if !st.TagKnown {
+				if !poisoned[r] {
+					poisoned[r] = true
+					notes = append(notes, fmt.Sprintf("rank %d has a wildcard %s with an unresolved tag; rank excluded from hints", r, st.Op.Kind))
+				}
+				continue
+			}
+			key := HintKey{Rank: r, Tag: st.Tag, Probe: st.Op.Kind == OpProbe}
+			set := sets[key]
+			if set == nil {
+				set = map[int]bool{}
+				sets[key] = set
+			}
+			for _, s := range g.MatchSet(st, true) {
+				set[s] = true
+			}
+		}
+	}
+	var out []HintEntry
+	for key, set := range sets {
+		if poisoned[key.Rank] || len(set) == 0 {
+			continue
+		}
+		senders := make([]int, 0, len(set))
+		for s := range set {
+			senders = append(senders, s)
+		}
+		sort.Ints(senders)
+		out = append(out, HintEntry{Key: key, Senders: senders})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return !a.Probe && b.Probe
+	})
+	return out, notes
+}

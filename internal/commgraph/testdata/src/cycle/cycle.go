@@ -1,0 +1,27 @@
+// cycle fixture: ranks 0 and 1 both open with a blocking specific-source
+// receive from each other — a head-to-head wait that deadlocks before either
+// reply send can run. The finding anchors at the lowest-rank member.
+package fixture
+
+import "dampi/mpi"
+
+func cycleProg(p *mpi.Proc) error {
+	c := p.CommWorld()
+	switch p.Rank() {
+	case 0:
+		if _, _, err := p.Recv(1, 4, c); err != nil { // want:cycle
+			return err
+		}
+		if err := p.Send(1, 4, nil, c); err != nil {
+			return err
+		}
+	case 1:
+		if _, _, err := p.Recv(0, 4, c); err != nil {
+			return err
+		}
+		if err := p.Send(0, 4, nil, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

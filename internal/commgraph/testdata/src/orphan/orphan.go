@@ -1,0 +1,23 @@
+// orphan fixture: rank 1's tag-9 send targets rank 3, which never posts a
+// receive at any tested world size.
+package fixture
+
+import "dampi/mpi"
+
+func orphanProg(p *mpi.Proc) error {
+	c := p.CommWorld()
+	switch p.Rank() {
+	case 0:
+		if _, _, err := p.Recv(1, 1, c); err != nil {
+			return err
+		}
+	case 1:
+		if err := p.Send(0, 1, nil, c); err != nil {
+			return err
+		}
+		if err := p.Send(3, 9, nil, c); err != nil { // want:orphan
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+// tagmismatch fixture: ranks 0 and 1 talk to each other, but on different
+// tags — the receive expects tag 5 while the only send to rank 0 carries
+// tag 7, so both sites can only fail to match because of tags.
+package fixture
+
+import "dampi/mpi"
+
+func tagMismatchProg(p *mpi.Proc) error {
+	c := p.CommWorld()
+	switch p.Rank() {
+	case 0:
+		if _, _, err := p.Recv(1, 5, c); err != nil { // want:tagmismatch
+			return err
+		}
+	case 1:
+		if err := p.Send(0, 7, nil, c); err != nil { // want:tagmismatch
+			return err
+		}
+	}
+	return nil
+}

@@ -37,6 +37,12 @@ type ExplorerConfig struct {
 	MaxInterleavings int
 	// StopOnFirstError ends exploration at the first erroneous interleaving.
 	StopOnFirstError bool
+	// PruneHints is the optional static prune-hint table (see prune.go): at
+	// a wildcard decision point whose statically derived sender set is a
+	// singleton, branching is skipped. Every observed match is cross-checked
+	// against the table; a violation disables it for the rest of the run.
+	// Nil disables static pruning.
+	PruneHints *PruneHints
 	// ExtraHooks are additional tool layers stacked below DAMPI's (leak
 	// checking, statistics). A fresh set is built per replay via the factory
 	// so per-run tools don't leak state across interleavings.
@@ -110,6 +116,17 @@ type Report struct {
 	Unsafe []UnsafeReport
 	// Capped reports whether MaxInterleavings stopped the search early.
 	Capped bool
+	// StaticPruned counts alternate branches skipped because of static
+	// prune hints (ExplorerConfig.PruneHints). With MixingBound 0 each
+	// skipped alternate corresponds to exactly one saved replay, so
+	// Interleavings + StaticPruned equals the unpruned interleaving count.
+	StaticPruned int
+	// PruneDisabled reports that a hint violation switched static pruning
+	// off mid-exploration; branches pruned before the violation were not
+	// re-explored, so coverage may be reduced. PruneViolations carries the
+	// evidence.
+	PruneDisabled   bool
+	PruneViolations []PruneViolation
 	// FirstTrace is the initial self run's full epoch log.
 	FirstTrace *RunTrace
 }
@@ -196,6 +213,11 @@ func (e *Explorer) Explore() (*Report, error) {
 			break
 		}
 	}
+	if h := e.cfg.PruneHints; h != nil {
+		e.report.StaticPruned = h.Pruned()
+		e.report.PruneDisabled = h.Disabled()
+		e.report.PruneViolations = h.Violations()
+	}
 	return e.report, nil
 }
 
@@ -252,15 +274,23 @@ func (e *Explorer) pushNew(trace *RunTrace, flipped *frame) {
 		if autoLoop {
 			e.report.AutoAbstracted++
 		}
+		e.cfg.PruneHints.Observe(rec)
 		id := rec.ID()
 		if _, ok := e.forced[id]; ok {
 			continue // part of the forced prefix
 		}
+		canFlip := explorable && !rec.InLoop && !autoLoop
+		alts := append([]int(nil), rec.Alternates...)
+		if canFlip && e.cfg.PruneHints.ShouldPrune(rec) {
+			// Statically deterministic decision point: keep the frame so the
+			// prefix still pins the observed choice, but skip its branches.
+			alts = nil
+		}
 		f := &frame{
 			id:         id,
 			chosen:     rec.Chosen,
-			alts:       append([]int(nil), rec.Alternates...),
-			explorable: explorable && !rec.InLoop && !autoLoop,
+			alts:       alts,
+			explorable: canFlip,
 			budget:     budget,
 		}
 		e.stack = append(e.stack, f)

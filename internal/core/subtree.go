@@ -66,11 +66,12 @@ func (t *SubtreeTask) Expand(cfg *ExplorerConfig, trace *RunTrace) *Expansion {
 		if autoLoop {
 			ex.AutoAbstracted++
 		}
+		cfg.PruneHints.Observe(rec)
 		if _, ok := t.Decisions.Lookup(rec.Rank, rec.LC); ok {
 			continue // part of the forced prefix
 		}
 		ex.DecisionPoints++
-		if t.Explorable && !rec.InLoop && !autoLoop {
+		if t.Explorable && !rec.InLoop && !autoLoop && !cfg.PruneHints.ShouldPrune(rec) {
 			for _, alt := range rec.Alternates {
 				// Each child adds the prefix pins plus the flip itself on top
 				// of the inherited decisions; size the clone for them up front.

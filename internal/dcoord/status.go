@@ -26,7 +26,12 @@ type Status struct {
 	Requeues      int     `json:"requeues"`
 	MeanPerSec    float64 `json:"per_second_mean"`
 	WindowPerSec  float64 `json:"per_second_window"`
-	Capped        bool    `json:"capped,omitempty"`
+	// StaticPruned counts branches skipped by static prune hints. Cluster
+	// explorations do not carry hint tables (static pruning is a local-engine
+	// feature), so this stays 0 there; the field keeps the wire contract
+	// uniform with local reports.
+	StaticPruned int  `json:"static_pruned,omitempty"`
+	Capped       bool `json:"capped,omitempty"`
 	Workers       []WorkerStatus `json:"workers"`
 }
 
@@ -71,6 +76,7 @@ func (c *Coordinator) Status() Status {
 		Requeues:      c.requeues,
 		MeanPerSec:    mean,
 		WindowPerSec:  window,
+		StaticPruned:  c.report.StaticPruned,
 		Capped:        c.report.Capped,
 	}
 	switch {
@@ -143,6 +149,7 @@ func WriteMetrics(w io.Writer, st Status) {
 	fmt.Fprintf(w, "# HELP dampi_requeues_total Leases lost and requeued (crash, hang, disconnect).\n# TYPE dampi_requeues_total counter\ndampi_requeues_total %d\n", st.Requeues)
 	fmt.Fprintf(w, "# HELP dampi_errors_total Failing interleavings found.\n# TYPE dampi_errors_total counter\ndampi_errors_total %d\n", st.Errors)
 	fmt.Fprintf(w, "# HELP dampi_deadlocks_total Deadlocked interleavings found.\n# TYPE dampi_deadlocks_total counter\ndampi_deadlocks_total %d\n", st.Deadlocks)
+	fmt.Fprintf(w, "# HELP dampi_static_pruned_total Branches skipped by static prune hints.\n# TYPE dampi_static_pruned_total counter\ndampi_static_pruned_total %d\n", st.StaticPruned)
 	fmt.Fprintf(w, "# HELP dampi_workers_connected Connected workers.\n# TYPE dampi_workers_connected gauge\ndampi_workers_connected %d\n", len(st.Workers))
 	fmt.Fprintf(w, "# HELP dampi_worker_lease_age_seconds Age of each worker's oldest outstanding lease.\n# TYPE dampi_worker_lease_age_seconds gauge\n")
 	for _, ws := range st.Workers {

@@ -530,6 +530,13 @@ func (e *Engine) finish() error {
 	}
 
 	*e.report = *rep
+	if h := e.cfg.Explorer.PruneHints; h != nil {
+		// The hint table is shared by every worker; its counters are atomics,
+		// so reading after the pool has joined is race-free.
+		e.report.StaticPruned = h.Pruned()
+		e.report.PruneDisabled = h.Disabled()
+		e.report.PruneViolations = h.Violations()
+	}
 	max := e.cfg.Explorer.MaxInterleavings
 	if max > 0 && e.report.Interleavings >= max && len(leftovers) > 0 {
 		e.report.Capped = true

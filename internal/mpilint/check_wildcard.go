@@ -6,17 +6,25 @@ import (
 )
 
 // wildcard: audit every receive/probe site that can match nondeterministically
-// (AnySource and/or AnyTag). These are exactly the decision points the
-// dynamic verifier must explore, so the audit feeds its coverage story: a
-// program whose audit is empty is deterministic and needs only one
-// interleaving. Informational severity — wildcards are legal MPI.
+// (AnySource and/or AnyTag). The AnySource sites — receives AND probes — are
+// exactly the choice points the dynamic verifier branches on, and are marked
+// as such; AnyTag-only sites are wild in the MPI sense but the runtime
+// matcher resolves them deterministically (per-sender FIFO order), so they
+// are audited without the mark. A program whose choice-point census is empty
+// is deterministic and needs only one interleaving. Informational severity —
+// wildcards are legal MPI.
 
 var wildcardCheck = &checkDef{
 	name:     "wildcard",
-	doc:      "audit of AnySource/AnyTag receive sites (informational)",
+	doc:      "audit of AnySource/AnyTag receive and probe sites (informational)",
 	severity: SevInfo,
 	run:      runWildcard,
 }
+
+// probeMethods are the receiving operations that probe rather than consume;
+// their AnySource form is still a dynamic choice point (the explorer
+// branches on which pending message the probe observes).
+var probeMethods = map[string]bool{"Probe": true, "Iprobe": true}
 
 func runWildcard(fc *funcCtx) {
 	// Identifiers assigned (anywhere in the function) from mpi.AnySource or
@@ -49,22 +57,35 @@ func runWildcard(fc *funcCtx) {
 			continue
 		}
 		var parts []string
-		describe := func(arg ast.Expr, constName, argName string) {
+		describe := func(arg ast.Expr, constName, argName string) bool {
 			switch {
 			case fc.scope.isMPIConst(arg, constName):
 				parts = append(parts, argName+"="+constName)
+				return true
 			default:
 				if id, ok := unparen(arg).(*ast.Ident); ok {
 					if o := fc.obj(id); o != nil && maybeWild[o] == constName {
 						parts = append(parts, argName+"="+constName+" (via "+id.Name+")")
+						return true
 					}
 				}
 			}
+			return false
 		}
-		describe(mc.call.Args[idx[0]], "AnySource", "src")
+		anySrc := describe(mc.call.Args[idx[0]], "AnySource", "src")
 		describe(mc.call.Args[idx[1]], "AnyTag", "tag")
-		if len(parts) > 0 {
-			fc.reportf(mc.call, "wildcard receive: %s with %s", mc.method, strings.Join(parts, ", "))
+		if len(parts) == 0 {
+			continue
+		}
+		noun := "wildcard receive"
+		if probeMethods[mc.method] {
+			noun = "wildcard probe"
+		}
+		detail := strings.Join(parts, ", ")
+		if anySrc {
+			fc.reportChoicef(mc.call, "%s: %s with %s [choice point]", noun, mc.method, detail)
+		} else {
+			fc.reportf(mc.call, "%s: %s with %s (tag-only: not a dynamic choice point)", noun, mc.method, detail)
 		}
 	}
 }

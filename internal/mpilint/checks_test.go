@@ -186,6 +186,49 @@ func TestFixtureSeverities(t *testing.T) {
 	}
 }
 
+// TestWildcardChoicePoints pins the audit's choice-point census: AnySource
+// receives AND probes are marked as the sites the dynamic verifier branches
+// on; AnyTag-only sites are audited but not marked (the runtime matcher
+// resolves them deterministically).
+func TestWildcardChoicePoints(t *testing.T) {
+	rep, err := Run([]string{filepath.Join("testdata", "src", "wildcard")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := rep.Wildcards()
+	if len(wc) != 6 {
+		t.Fatalf("wildcard audit entries = %d, want 6: %v", len(wc), wc)
+	}
+	cps := rep.ChoicePoints()
+	if len(cps) != 5 {
+		t.Errorf("choice points = %d, want 5 (every AnySource site incl. the probe): %v", len(cps), cps)
+	}
+	var probes, tagOnly int
+	for _, d := range wc {
+		switch {
+		case strings.HasPrefix(d.Message, "wildcard probe:"):
+			probes++
+			if !d.ChoicePoint {
+				t.Errorf("AnySource probe not marked as choice point: %s", d)
+			}
+		case strings.Contains(d.Message, "tag-only"):
+			tagOnly++
+			if d.ChoicePoint {
+				t.Errorf("AnyTag-only site wrongly marked as choice point: %s", d)
+			}
+		}
+		if d.ChoicePoint != strings.Contains(d.Message, "[choice point]") {
+			t.Errorf("choice-point mark and message suffix disagree: %s", d)
+		}
+	}
+	if probes != 1 {
+		t.Errorf("probe audit entries = %d, want 1", probes)
+	}
+	if tagOnly != 1 {
+		t.Errorf("tag-only audit entries = %d, want 1", tagOnly)
+	}
+}
+
 // TestFixtureSuppressionToggle checks DisableSuppressions: with it set, the
 // suppress fixture's diagnostics come back unsuppressed (and therefore fail).
 func TestFixtureSuppressionToggle(t *testing.T) {

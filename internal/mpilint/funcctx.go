@@ -52,6 +52,12 @@ func (fc *funcCtx) reportf(pos ast.Node, format string, args ...any) {
 	fc.pass.report(fc.check, pos.Pos(), format, args...)
 }
 
+// reportChoicef reports a diagnostic marked as a dynamic choice point (an
+// AnySource receive or probe the explorer branches on).
+func (fc *funcCtx) reportChoicef(pos ast.Node, format string, args ...any) {
+	fc.pass.reportOpts(fc.check, pos.Pos(), true, format, args...)
+}
+
 func (fc *funcCtx) line(n ast.Node) int {
 	return fc.pass.fset.Position(n.Pos()).Line
 }

@@ -12,8 +12,25 @@
 //	bufreuse — a send buffer written between an Isend and its completion
 //	rankcoll — a collective called under a condition derived from Rank()
 //	           (mismatched-collective deadlock risk)
-//	wildcard — audit of every AnySource/AnyTag receive site (informational;
-//	           these are the decision points the dynamic verifier explores)
+//	wildcard — audit of every AnySource/AnyTag receive and probe site
+//	           (informational; the AnySource sites are the choice points the
+//	           dynamic verifier branches on)
+//
+// Four further checks work on the static communication graph: per-rank
+// communication summaries extracted from each program root (a function of
+// the exact shape func(p *mpi.Proc) error) and composed into an
+// over-approximated match graph at several world sizes (see
+// internal/commgraph):
+//
+//	orphan      — a send or receive with no statically feasible matching
+//	              peer at any tested world size
+//	tagmismatch — a send/receive pair that can only fail to match because
+//	              of tags or payload-type use
+//	wilddet     — a wildcard receive whose static match set is a singleton
+//	              (informational: the nondeterminism is illusory, and the
+//	              dynamic explorer can prune the branch)
+//	cycle       — a potential deadlock cycle of blocking specific-source
+//	              receives in the static waits-for graph
 //
 // The analyzer uses only the Go standard library: go/parser for syntax and
 // go/types for best-effort type information, resolved by a recursive
@@ -60,14 +77,19 @@ func (s Severity) String() string {
 
 // Diagnostic is one finding at a source position.
 type Diagnostic struct {
-	File       string   `json:"file"`
-	Line       int      `json:"line"`
-	Col        int      `json:"col"`
-	Check      string   `json:"check"`
-	Message    string   `json:"message"`
-	Severity   Severity `json:"-"`
-	Sev        string   `json:"severity"`
-	Suppressed bool     `json:"suppressed,omitempty"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Check    string   `json:"check"`
+	Message  string   `json:"message"`
+	Severity Severity `json:"-"`
+	Sev      string   `json:"severity"`
+	// ChoicePoint marks a wildcard-audit site the dynamic verifier actually
+	// branches on: an AnySource receive or probe. AnyTag-only sites are
+	// wild in the MPI sense but match a unique sender order at runtime, so
+	// they are audited without this mark.
+	ChoicePoint bool `json:"choice_point,omitempty"`
+	Suppressed  bool `json:"suppressed,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -94,11 +116,24 @@ func (r *Report) Failing() []Diagnostic {
 }
 
 // Wildcards returns the wildcard-audit diagnostics: every static
-// AnySource/AnyTag receive site.
+// AnySource/AnyTag receive and probe site.
 func (r *Report) Wildcards() []Diagnostic {
 	var out []Diagnostic
 	for _, d := range r.Diags {
 		if d.Check == "wildcard" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ChoicePoints returns the wildcard-audit sites the dynamic verifier
+// branches on: AnySource receives and probes. This is the static census the
+// dynamic engine's decision-point count should stay within.
+func (r *Report) ChoicePoints() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.ChoicePoint {
 			out = append(out, d)
 		}
 	}
@@ -121,12 +156,15 @@ type Options struct {
 	NoTypeCheck bool
 }
 
-// checkDef is one registered check.
+// checkDef is one registered check. Function-scoped checks set run; graph
+// checks (whole-program, over the static communication graph) set graph and
+// are dispatched by runGraphChecks instead.
 type checkDef struct {
 	name     string
 	doc      string
 	severity Severity
 	run      func(fc *funcCtx)
+	graph    bool
 }
 
 var allChecks = []*checkDef{
@@ -136,6 +174,10 @@ var allChecks = []*checkDef{
 	bufreuseCheck,
 	rankcollCheck,
 	wildcardCheck,
+	orphanCheck,
+	tagmismatchCheck,
+	wilddetCheck,
+	cycleCheck,
 }
 
 // CheckNames lists the registered checks in their canonical order.
@@ -353,11 +395,15 @@ func lintUnit(fset *token.FileSet, tc *typeChecker, u *unit, checks []*checkDef,
 			}
 			fc := newFuncCtx(p, cls, f, fd)
 			for _, c := range checks {
+				if c.run == nil {
+					continue
+				}
 				fc.check = c
 				c.run(fc)
 			}
 		}
 	}
+	runGraphChecks(p, cls, fset, files, checks)
 	return nil
 }
 
@@ -394,15 +440,20 @@ type pass struct {
 }
 
 func (p *pass) report(chk *checkDef, pos token.Pos, format string, args ...any) {
+	p.reportOpts(chk, pos, false, format, args...)
+}
+
+func (p *pass) reportOpts(chk *checkDef, pos token.Pos, choicePoint bool, format string, args ...any) {
 	position := p.fset.Position(pos)
 	d := Diagnostic{
-		File:     position.Filename,
-		Line:     position.Line,
-		Col:      position.Column,
-		Check:    chk.name,
-		Message:  fmt.Sprintf(format, args...),
-		Severity: chk.severity,
-		Sev:      chk.severity.String(),
+		File:        position.Filename,
+		Line:        position.Line,
+		Col:         position.Column,
+		Check:       chk.name,
+		Message:     fmt.Sprintf(format, args...),
+		Severity:    chk.severity,
+		Sev:         chk.severity.String(),
+		ChoicePoint: choicePoint,
 	}
 	if !p.opts.DisableSuppressions && p.supp.matches(d.File, d.Line, chk.name) {
 		d.Suppressed = true

@@ -1,0 +1,69 @@
+// Static prune hints: the bridge from the static communication-graph
+// analysis (internal/commgraph, extracted by internal/mpilint) to the
+// dynamic explorer. StaticHints analyzes the program's source, derives the
+// statically feasible sender set of every wildcard decision point at the
+// configured world size, and packages the singletons the explorer may act
+// on into a Config.PruneHints table.
+//
+// The hint sets are payload-type-refined — finer than the dynamic matcher,
+// which ignores payload types — so pruning on them is a heuristic, not a
+// proof. The explorer therefore cross-checks every observed match against
+// the table at runtime and falls back to full branching (surfacing the
+// violation) the moment the static model disagrees with an execution.
+package verify
+
+import (
+	"fmt"
+
+	"dampi/internal/commgraph"
+	"dampi/internal/mpilint"
+)
+
+// StaticHints statically analyzes the Go package or file at path, locates
+// its program root (a function of the exact shape func(p *mpi.Proc) error),
+// and derives prune hints for a verification with the given world size.
+//
+// The returned notes explain, in order, every reason hint coverage was
+// reduced (incomplete summaries, unresolvable wildcard tags). When no hints
+// can be derived — no root, multiple roots (which one will be verified is
+// unknowable statically), or an incomplete summary — the hint table is nil
+// and the notes say why; verifying with nil hints is always safe.
+func StaticHints(path string, procs int) (*PruneHints, []string, error) {
+	if procs < 1 {
+		return nil, nil, fmt.Errorf("verify: StaticHints procs must be >= 1, got %d", procs)
+	}
+	sums, err := mpilint.ProgramSummaries([]string{path}, mpilint.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	var complete []*commgraph.Summary
+	var notes []string
+	for _, s := range sums {
+		if s.Complete {
+			complete = append(complete, s)
+		} else {
+			notes = append(notes, fmt.Sprintf("%s (%s:%d): summary incomplete: not used for hints", s.Name, s.File, s.Line))
+			notes = append(notes, s.Notes...)
+		}
+	}
+	switch len(complete) {
+	case 0:
+		if len(sums) == 0 {
+			notes = append(notes, "no program root (func(p *mpi.Proc) error) found; no hints")
+		} else {
+			notes = append(notes, "no complete program summary; no hints")
+		}
+		return nil, notes, nil
+	case 1:
+	default:
+		notes = append(notes, fmt.Sprintf("%d program roots found; cannot tell which will run, no hints", len(complete)))
+		return nil, notes, nil
+	}
+	entries, hnotes := commgraph.Hints(complete[0], procs)
+	notes = append(notes, hnotes...)
+	sets := make(map[PruneHintKey][]int, len(entries))
+	for _, e := range entries {
+		sets[PruneHintKey{Rank: e.Key.Rank, Tag: e.Key.Tag, Probe: e.Key.Probe}] = e.Senders
+	}
+	return NewPruneHints(sets), notes, nil
+}

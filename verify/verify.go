@@ -144,7 +144,24 @@ type Config struct {
 	OnProgress func(p Progress)
 	// ProgressEvery is the OnProgress period.
 	ProgressEvery time.Duration
+	// PruneHints is an optional static prune-hint table (usually built with
+	// StaticHints from the program's source): wildcard decision points whose
+	// statically derived sender set is a singleton are not branched on.
+	// Every observed match is cross-checked against the table; a mismatch
+	// disables pruning for the rest of the exploration and is surfaced via
+	// Result.PruneViolations. Nil verifies without static pruning.
+	PruneHints *PruneHints
 }
+
+// PruneHints is a static prune-hint table shared by all replay workers.
+type PruneHints = core.PruneHints
+
+// PruneHintKey identifies one wildcard decision-point class in a hint table.
+type PruneHintKey = core.PruneHintKey
+
+// NewPruneHints builds a hint table from sender sets keyed by decision
+// point; see core.NewPruneHints.
+func NewPruneHints(sets map[PruneHintKey][]int) *PruneHints { return core.NewPruneHints(sets) }
 
 // Progress is a live exploration throughput snapshot (parallel engine).
 type Progress = dexplore.Progress
@@ -170,6 +187,12 @@ func (r *Result) Summary() string {
 		r.Interleavings, len(r.Errors), r.Deadlocks, r.WildcardsAnalyzed)
 	if r.Capped {
 		s += " (capped)"
+	}
+	if r.StaticPruned > 0 || r.PruneDisabled {
+		s += fmt.Sprintf(" pruned(static)=%d", r.StaticPruned)
+	}
+	if r.PruneDisabled {
+		s += " (static hints disabled: violation observed)"
 	}
 	if r.Leaks != nil {
 		s += fmt.Sprintf(" c-leak=%v r-leak=%v", r.Leaks.HasCommLeak(), r.Leaks.HasRequestLeak())
@@ -231,6 +254,7 @@ func Run(cfg Config, program func(p *mpi.Proc) error) (*Result, error) {
 		MixingBound:       cfg.MixingBound,
 		MaxInterleavings:  cfg.MaxInterleavings,
 		StopOnFirstError:  cfg.StopOnFirstError,
+		PruneHints:        cfg.PruneHints,
 		ExtraHooks:        extra,
 		OnInterleaving:    cfg.OnInterleaving,
 	}

@@ -1,0 +1,21 @@
+package fanin
+
+import (
+	"testing"
+
+	"dampi/mpi"
+)
+
+func TestProgramRunsClean(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: MinProcs})
+	if err := w.Run(Program(Config{})); err != nil {
+		t.Fatalf("fanin failed natively at %d ranks: %v", MinProcs, err)
+	}
+}
+
+func TestProgramRejectsSmallWorld(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: MinProcs - 1})
+	if err := w.Run(Program(Config{})); err == nil {
+		t.Fatalf("fanin accepted a %d-rank world, want an error below MinProcs=%d", MinProcs-1, MinProcs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dampi/mpi"
 	"dampi/workloads/adlb"
+	"dampi/workloads/fanin"
 	"dampi/workloads/matmul"
 	"dampi/workloads/nas"
 	"dampi/workloads/parmetis"
@@ -112,6 +113,13 @@ func init() {
 		Description: "hypergraph partitioning communication proxy (Fig. 5, Table I)",
 		Program: func(p Params) func(*mpi.Proc) error {
 			return parmetis.Program(parmetis.Config{Scale: p.Scale, LeakComm: true})
+		},
+	})
+	register(&Workload{
+		Name: "fanin", Suite: "paper", MinProcs: fanin.MinProcs, HasWildcards: true,
+		Description: "control/data fan-in with a statically deterministic wildcard (static prune-hint demo)",
+		Program: func(p Params) func(*mpi.Proc) error {
+			return fanin.Program(fanin.Config{})
 		},
 	})
 	register(&Workload{
