@@ -18,7 +18,7 @@ import (
 // would print. SIGINT/SIGTERM drain gracefully: no new tasks are leased,
 // in-flight results are merged, a final checkpoint is written (when
 // -checkpoint is set) and the partial report is printed.
-func serveCluster(cfg verify.ClusterConfig, statusAddr string, verbose bool) {
+func serveCluster(cfg verify.ClusterConfig, statusAddr, sampleDump string, verbose bool) {
 	lastWindow, lastOK := 0.0, false
 	cfg.OnProgress = func(p verify.Progress) {
 		lastWindow, lastOK = p.WindowPerSecond, p.WindowValid
@@ -56,8 +56,14 @@ func serveCluster(cfg verify.ClusterConfig, statusAddr string, verbose bool) {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
-	printReportHead(res)
+	printReportHead(res, cfg.SampleDepth)
 	printReportErrors(res)
+	if sampleDump != "" {
+		if err := writeSampleDump(sampleDump, res.SampledSchedules); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  sampled schedules saved to %s (%d distinct)\n", sampleDump, len(res.SampledSchedules))
+	}
 	fmt.Println(footer(res.Interleavings, elapsed, lastWindow, lastOK))
 	if res.Errored() {
 		exit(1)

@@ -11,6 +11,7 @@
 //	dampi -workload matmul -procs 4 -baseline isp
 //	dampi -lint ./workloads/... -workload adlb -procs 8
 //	dampi -workload fanin -procs 4 -k 0 -static-prune ./workloads/fanin
+//	dampi -workload iprobe -procs 2 -sample random -samples 64 -seed 7
 //	dampi -serve :9477 -status :9478 -workload matmul -procs 6 -k 1
 //	dampi -join host:9477 -workload matmul -procs 6 -k 1 -slots 4
 //	dampi -serve :9477 -queue -api :9478 -store /var/lib/dampi
@@ -28,6 +29,16 @@
 // dampid worker pool. Submit jobs with `dampi -submit URL -workload ...`
 // (add -wait to poll to completion and print the report) or plain curl; see
 // DESIGN.md "Verification service".
+//
+// The -sample STRATEGY flag (random or pct) switches from exhaustive
+// exploration to seeded schedule sampling: the space below -sample-depth is
+// still explored exhaustively, and beyond it -samples schedules are drawn by
+// seeded random walks (or PCT-style priority schedules) over every decision
+// point — wildcard receive sources, Waitany/Testany completion order, and
+// Iprobe outcomes. The same -seed reproduces the same schedule set, byte for
+// byte, locally or across a cluster; -sample-dump FILE saves the distinct
+// sampled decision vectors. Without -sample, pass -choice-points to make the
+// exhaustive engines branch on Waitany/Testany/Iprobe outcomes too.
 //
 // Erroneous interleavings are printed with their epoch-decisions reproducer;
 // pass -decisions FILE to save the first reproducer as a JSON decisions
@@ -89,6 +100,12 @@ func main() {
 		scale      = flag.Int("scale", 100, "traffic divisor for proxy workloads")
 		iters      = flag.Int("iters", 4, "outer iterations for proxy workloads")
 		workers    = flag.Int("workers", 0, "parallel replay workers (0 = serial explorer)")
+		sampleStr  = flag.String("sample", "", "schedule-sampling strategy: random or pct (default: exhaustive exploration)")
+		samples    = flag.Int("samples", 64, "schedules to sample (with -sample)")
+		seed       = flag.Uint64("seed", 1, "sampling seed; the same seed reproduces the same schedule set (with -sample)")
+		sampleDep  = flag.Int("sample-depth", 0, "explore exhaustively below this decision depth, sample beyond (with -sample)")
+		choicePts  = flag.Bool("choice-points", false, "branch on Waitany/Testany completion order and Iprobe outcomes too (exhaustive engines; implied by -sample)")
+		sampleDump = flag.String("sample-dump", "", "write the distinct sampled decision vectors to FILE, one per line (with -sample)")
 		serve      = flag.String("serve", "", "run as distributed coordinator listening on ADDR (host:port)")
 		join       = flag.String("join", "", "join the distributed coordinator at ADDR as a replay worker")
 		queue      = flag.Bool("queue", false, "with -serve: run the persistent verification service (job queue + REST API) instead of a single exploration")
@@ -156,6 +173,9 @@ func main() {
 			for _, d := range rep.Wildcards() {
 				fmt.Printf("lint: %s\n", d)
 			}
+			for _, d := range rep.ChoicePointAudit() {
+				fmt.Printf("lint: %s\n", d)
+			}
 			exit(0)
 		}
 	}
@@ -219,7 +239,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := verify.Replay(*procs, prog, d)
+		replay := verify.Replay
+		if *choicePts || *sampleStr != "" {
+			// Choice-point reproducers (from -choice-points or -sample runs)
+			// only re-apply when the replay tracks the same epoch kinds.
+			replay = verify.ReplayChoicePoints
+		}
+		res, err := replay(*procs, prog, d)
 		if err != nil {
 			fatal(err)
 		}
@@ -239,7 +265,7 @@ func main() {
 	}
 
 	if *submitURL != "" {
-		submitJob(*submitURL, verify.JobSpec{
+		spec := verify.JobSpec{
 			Workload:          wl.Name,
 			Procs:             *procs,
 			Scale:             *scale,
@@ -251,7 +277,18 @@ func main() {
 			AutoLoopThreshold: *autoloop,
 			MaxInterleavings:  *maxN,
 			StopOnFirstError:  *stopErr,
-		}, *jobTTL, *waitJob)
+			ChoicePoints:      *choicePts,
+		}
+		if *sampleStr != "" {
+			// Populated only in sample mode so exhaustive job keys are
+			// unchanged by the new spec fields (they are omitempty).
+			spec.ChoicePoints = true
+			spec.SampleStrategy = *sampleStr
+			spec.Samples = *samples
+			spec.SampleSeed = *seed
+			spec.SampleDepth = *sampleDep
+		}
+		submitJob(*submitURL, spec, *jobTTL, *waitJob)
 	}
 
 	if *resume && *ckpFile == "" {
@@ -297,6 +334,19 @@ func main() {
 		CheckpointEvery:   *ckpEvery,
 		Resume:            *resume,
 		PruneHints:        hints,
+		ChoicePoints:      *choicePts,
+	}
+	if *sampleStr != "" {
+		// Sampling fields are populated only in sample mode so the default
+		// configuration (and its fingerprints and job keys) stays byte-for-
+		// byte what it was without the flags.
+		cfg.Mode = verify.ModeSample
+		cfg.SampleStrategy = *sampleStr
+		cfg.Samples = *samples
+		cfg.Seed = *seed
+		cfg.SampleDepth = *sampleDep
+	} else if *sampleDump != "" {
+		fatal(fmt.Errorf("-sample-dump requires -sample"))
 	}
 
 	if *serve != "" || *join != "" {
@@ -316,7 +366,7 @@ func main() {
 			ccfg.CheckLeaks = false
 			ccfg.Workers = 0
 			ccfg.Addr = *serve
-			serveCluster(ccfg, *statusAddr, *verbose)
+			serveCluster(ccfg, *statusAddr, *sampleDump, *verbose)
 		}
 		ccfg.Addr = *join
 		joinCluster(ccfg, prog)
@@ -351,7 +401,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	printReportHead(res)
+	printReportHead(res, cfg.SampleDepth)
 	if res.Leaks != nil {
 		for _, l := range res.Leaks.CommLeaks {
 			fmt.Printf("  C-leak: %s\n", l)
@@ -365,6 +415,13 @@ func main() {
 			fmt.Printf("  static wildcard audit (%d sites, %d dynamic choice points in %s):\n",
 				len(wc), len(lintRep.ChoicePoints()), *lintPath)
 			for _, d := range wc {
+				fmt.Printf("    %s\n", d)
+			}
+		}
+		if cp := lintRep.ChoicePointAudit(); len(cp) > 0 {
+			fmt.Printf("  static schedule choice points (%d completion/poll sites in %s):\n",
+				len(cp), *lintPath)
+			for _, d := range cp {
 				fmt.Printf("    %s\n", d)
 			}
 		}
@@ -386,6 +443,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("  reproducer saved to %s\n", *decFile)
+	}
+	if *sampleDump != "" {
+		if err := writeSampleDump(*sampleDump, res.SampledSchedules); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  sampled schedules saved to %s (%d distinct)\n", *sampleDump, len(res.SampledSchedules))
 	}
 	fmt.Println(footer(res.Interleavings, elapsed, lastWindow, lastOK))
 	if res.Errored() {

@@ -2,16 +2,24 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"strings"
 	"time"
 
 	"dampi/verify"
 )
 
-// printReportHead prints the one-line coverage summary and the §V unsafe
-// pattern warnings. Shared by local runs and the distributed coordinator so
-// the two modes render identical reports.
-func printReportHead(res *verify.Result) {
+// printReportHead prints the one-line coverage summary, the schedule-sampling
+// coverage statement, and the §V unsafe pattern warnings. Shared by local
+// runs and the distributed coordinator so the two modes render identical
+// reports; the sampling line must stay in sync with jobqueue.JobReport.Text,
+// which renders it for the service's report endpoint.
+func printReportHead(res *verify.Result, sampleDepth int) {
 	fmt.Printf("DAMPI: %s\n", res.Summary())
+	if res.Sampled > 0 {
+		fmt.Printf("  schedule sampling: exhaustive below depth %d, sampled %d schedules beyond, %d distinct\n",
+			sampleDepth, res.Sampled, res.SampledDistinct)
+	}
 	for _, u := range res.Unsafe {
 		fmt.Printf("  warning: %v\n", u)
 	}
@@ -30,6 +38,22 @@ func printReportErrors(res *verify.Result) {
 		fmt.Printf("  error in interleaving #%d: %v\n", e.Index, e.Err)
 		fmt.Printf("    reproducer: %v\n", e.Decisions)
 	}
+}
+
+// writeSampleDump writes the distinct sampled decision vectors, one per line
+// — the reproducibility artifact ci/sample_smoke.sh diffs across runs. The
+// vectors arrive sorted from the engine, so two runs with the same seed
+// produce byte-identical dumps.
+func writeSampleDump(path string, schedules []string) error {
+	var b strings.Builder
+	for _, s := range schedules {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("sample-dump: %w", err)
+	}
+	return nil
 }
 
 // footer renders the closing throughput line. windowOK reports whether the

@@ -9,8 +9,10 @@
 //	dampid -join host:9477 -workload adlb -procs 12 -k 0 -slots 8
 //	dampid -join host:9477 -slots 8
 //
-// Every exploration flag (-procs, -k, -clock, -dual, -transport, -autoloop)
-// must match the coordinator's: the join handshake rejects any mismatch,
+// Every exploration flag (-procs, -k, -clock, -dual, -transport, -autoloop,
+// -choice-points, and the -sample/-samples/-seed/-sample-depth sampling
+// parameters) must match the coordinator's: the join handshake rejects any
+// mismatch,
 // because a worker replaying a different program or interleaving space would
 // silently corrupt the merged report. Workload parameters (-scale, -iters)
 // shape the program itself and must likewise be identical on every node.
@@ -54,6 +56,11 @@ func main() {
 		iters      = flag.Int("iters", 4, "outer iterations for proxy workloads (must match)")
 		slots      = flag.Int("slots", 1, "concurrent replay slots")
 		workerName = flag.String("name", "", "worker name in coordinator status (default host:pid)")
+		sampleStr  = flag.String("sample", "", "schedule-sampling strategy: random or pct (must match)")
+		samples    = flag.Int("samples", 64, "schedules to sample (with -sample; must match)")
+		seed       = flag.Uint64("seed", 1, "sampling seed (with -sample; must match)")
+		sampleDep  = flag.Int("sample-depth", 0, "exhaustive-below-depth bound (with -sample; must match)")
+		choicePts  = flag.Bool("choice-points", false, "branch on Waitany/Testany completion order and Iprobe outcomes (must match; implied by -sample)")
 	)
 	flag.Parse()
 
@@ -97,6 +104,7 @@ func main() {
 			Transport:         tp,
 			AutoLoopThreshold: *autoloop,
 			MixingBound:       *k,
+			ChoicePoints:      *choicePts,
 		},
 		Workload:   wl.Name,
 		Addr:       *join,
@@ -105,6 +113,13 @@ func main() {
 		Scale:      *scale,
 		Iters:      *iters,
 		OnEvent:    func(line string) { fmt.Println(line) },
+	}
+	if *sampleStr != "" {
+		cfg.Mode = verify.ModeSample
+		cfg.SampleStrategy = *sampleStr
+		cfg.Samples = *samples
+		cfg.Seed = *seed
+		cfg.SampleDepth = *sampleDep
 	}
 	w, err := verify.Join(cfg, prog)
 	if err != nil {

@@ -43,6 +43,20 @@ type ExplorerConfig struct {
 	// against the table; a violation disables it for the rest of the run.
 	// Nil disables static pruning.
 	PruneHints *PruneHints
+	// ChoicePoints enables the enlarged choice-point space (Waitany/Testany
+	// completion indexes, Iprobe outcomes) — see ToolConfig.Choices. Off by
+	// default so existing explorations are byte-identical; sampling forces
+	// it on.
+	ChoicePoints bool
+	// Sampler, when non-nil, replaces exhaustive task expansion with a
+	// schedule-sampling policy (see SubtreeTask.Expand). Samplers require
+	// the task-based engines (dexplore/dcoord); the serial Explorer ignores
+	// this field.
+	Sampler Sampler
+	// SampleDepth bounds the exhaustive zone under a Sampler: tasks at
+	// Depth >= SampleDepth spawn no exhaustive children ("exhaustive below
+	// depth d, sampled beyond").
+	SampleDepth int
 	// ExtraHooks are additional tool layers stacked below DAMPI's (leak
 	// checking, statistics). A fresh set is built per replay via the factory
 	// so per-run tools don't leak state across interleavings.
@@ -127,6 +141,16 @@ type Report struct {
 	// evidence.
 	PruneDisabled   bool
 	PruneViolations []PruneViolation
+	// Sampled counts the schedules executed by the sampling subsystem
+	// (walk-step replays); SampledDistinct counts how many had distinct
+	// decision vectors. Duplicates = Sampled - SampledDistinct. Zero unless
+	// a Sampler drove the exploration.
+	Sampled         int
+	SampledDistinct int
+	// SampledSchedules lists the distinct sampled decision vectors in sorted
+	// order — the dump behind `dampi -sample-dump` and the seed-determinism
+	// tests. Nil unless a Sampler drove the exploration.
+	SampledSchedules []string
 	// FirstTrace is the initial self run's full epoch log.
 	FirstTrace *RunTrace
 }
@@ -359,6 +383,7 @@ func (rc *RunContext) Run(decisions *Decisions) (*RunTrace, *InterleavingResult,
 			DualClock: cfg.DualClock,
 			Transport: cfg.Transport,
 			Decisions: decisions,
+			Choices:   cfg.ChoicePoints,
 		})
 	} else {
 		rc.tool.Reset(decisions)

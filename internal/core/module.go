@@ -60,6 +60,11 @@ type ToolConfig struct {
 	Transport Transport
 	// Decisions guides the run; nil or empty means SELF_RUN everywhere.
 	Decisions *Decisions
+	// Choices enables the enlarged choice-point space: Waitany/Testany
+	// completion indexes and Iprobe found/not-found outcomes are recorded
+	// (and replayed) as first-class epochs. Off by default — the extra hooks
+	// are not even installed, so existing explorations are byte-identical.
+	Choices bool
 }
 
 // Tool is the per-run DAMPI instrumentation: Algorithm 1 of the paper. One
@@ -286,7 +291,7 @@ func (t *Tool) abort(p *mpi.Proc, err error) {
 
 // Hooks returns the mpi tool layer implementing Algorithm 1.
 func (t *Tool) Hooks() *mpi.Hooks {
-	return &mpi.Hooks{
+	h := &mpi.Hooks{
 		Init:           t.init,
 		PreSend:        t.preSend,
 		PostSend:       t.postSend,
@@ -302,6 +307,13 @@ func (t *Tool) Hooks() *mpi.Hooks {
 		PostCommFree:   t.postCommFree,
 		Pcontrol:       t.pcontrol,
 	}
+	if t.cfg.Choices {
+		// Completion choice points are opt-in: leaving these nil keeps the
+		// runtime's Waitany/Testany fast path (no op descriptor, no epoch).
+		h.PreWaitany = t.preWaitany
+		h.PostWaitany = t.postWaitany
+	}
+	return h
 }
 
 func (t *Tool) init(p *mpi.Proc) {
@@ -522,6 +534,9 @@ func (t *Tool) complete(p *mpi.Proc, req *mpi.Request, status mpi.Status) {
 func (t *Tool) findPotentialMatches(st *rankState, info *recvInfo, req *mpi.Request, status mpi.Status, mclock []uint64) {
 	commID := req.Comm().ID()
 	for _, e := range st.epochs {
+		if !e.kind.MatchKind() {
+			continue // completion/outcome epochs carry no match decision
+		}
 		if e.commID != commID {
 			continue
 		}
@@ -547,18 +562,92 @@ func (t *Tool) findPotentialMatches(st *rankState, info *recvInfo, req *mpi.Requ
 	}
 }
 
+// --- completion choice points (ToolConfig.Choices) ---
+
+// preWaitany determinizes a Waitany/Testany during a guided replay: a forced
+// decision at the rank's current clock names the completion index to observe.
+func (t *Tool) preWaitany(p *mpi.Proc, op *mpi.WaitanyOp) {
+	st := t.state(p)
+	if st.mode == GuidedRun && int64(st.lc.Value()) > st.guidedEpoch {
+		st.mode = SelfRun
+	}
+	if st.mode == GuidedRun {
+		if idx, ok := t.cfg.Decisions.Lookup(p.Rank(), st.lc.Value()); ok {
+			op.ForceIndex = idx
+		}
+	}
+}
+
+// postWaitany records a completion choice epoch: the chosen index plus every
+// other request that had also completed (unconsumed) when the call returned —
+// the alternates a replay can force instead. Fires only on positive outcomes,
+// so the epoch count (and the rank's clock) stays aligned across runs
+// regardless of how many empty Testany polls timing produced.
+func (t *Tool) postWaitany(p *mpi.Proc, op *mpi.WaitanyOp, idx int, status mpi.Status) {
+	st := t.state(p)
+	e := st.newEpoch(0)
+	e.lc = st.lc.Value()
+	e.commID = -1 // not a message-match point: no comm, no late-message analysis
+	e.tag = -1
+	e.postSeq = st.recvPostSeq
+	e.kind = WaitanyEpoch
+	if !op.Blocking {
+		e.kind = TestanyEpoch
+	}
+	e.guided = st.mode == GuidedRun
+	e.inLoop = st.loopDepth > 0
+	e.chosen = idx
+	for i, r := range op.Reqs {
+		if i != idx && r != nil && r.CompletedPending() {
+			e.alts = append(e.alts, i)
+		}
+	}
+	e.order = t.order.Add(1)
+	st.epochs = append(st.epochs, e)
+	st.lc.Tick()
+	st.commitEpoch(e)
+	if st.vc != nil {
+		st.vc.Tick()
+		e.vcSnap = st.vc.Snapshot()
+	}
+	if e.guided {
+		if forced, ok := t.cfg.Decisions.Lookup(p.Rank(), e.lc); ok && forced != idx {
+			st.mismatches = append(st.mismatches, ForcedMismatch{
+				Epoch: EpochID{Rank: p.Rank(), LC: e.lc}, Forced: forced, Got: idx,
+			})
+		}
+	}
+}
+
 // --- probes ---
 
 func (t *Tool) preProbe(p *mpi.Proc, op *mpi.ProbeOp) {
 	st := t.state(p)
-	if !op.WasAnySource {
+	choice := t.cfg.Choices && !op.Blocking
+	if !op.WasAnySource && !choice {
 		return
 	}
 	if st.mode == GuidedRun && int64(st.lc.Value()) > st.guidedEpoch {
 		st.mode = SelfRun
 	}
+	if choice && st.mode == GuidedRun {
+		// Outcome decision at the current clock: a forced 0 suppresses a
+		// would-be find (the sound branch — forcing a find that timing did
+		// not produce could manufacture a message out of nothing).
+		if out, ok := t.cfg.Decisions.Lookup(p.Rank(), st.lc.Value()); ok && out == 0 {
+			op.SuppressFound = true
+			return
+		}
+	}
+	if !op.WasAnySource {
+		return
+	}
 	if st.mode == GuidedRun {
-		if src, ok := t.cfg.Decisions.Lookup(p.Rank(), st.lc.Value()); ok {
+		lc := st.lc.Value()
+		if choice {
+			lc++ // the wildcard source decision sits above the outcome epoch's tick
+		}
+		if src, ok := t.cfg.Decisions.Lookup(p.Rank(), lc); ok {
 			op.Src = src
 		}
 	}
@@ -566,6 +655,43 @@ func (t *Tool) preProbe(p *mpi.Proc, op *mpi.ProbeOp) {
 
 func (t *Tool) postProbe(p *mpi.Proc, op *mpi.ProbeOp, status mpi.Status, found bool) {
 	st := t.state(p)
+	if t.cfg.Choices && !op.Blocking && found {
+		// Iprobe outcome epoch: the poll found a message (suppressed or not).
+		// Natural not-found polls record nothing — their count is timing
+		// noise, and recording them would misalign (rank, LC) decisions.
+		e := st.newEpoch(op.Comm.Size())
+		e.lc = st.lc.Value()
+		e.commID = op.Comm.ID()
+		e.tag = op.Tag
+		e.postSeq = st.recvPostSeq
+		e.kind = IprobeEpoch
+		e.guided = st.mode == GuidedRun
+		e.inLoop = st.loopDepth > 0
+		if op.SuppressFound {
+			e.chosen = 0 // forced not-found: pinned, no further branches
+		} else {
+			e.chosen = 1
+			e.alts = append(e.alts, 0)
+		}
+		e.order = t.order.Add(1)
+		st.epochs = append(st.epochs, e)
+		st.lc.Tick()
+		st.commitEpoch(e)
+		if st.vc != nil {
+			st.vc.Tick()
+			e.vcSnap = st.vc.Snapshot()
+		}
+		if e.guided {
+			if forced, ok := t.cfg.Decisions.Lookup(p.Rank(), e.lc); ok && forced != e.chosen {
+				st.mismatches = append(st.mismatches, ForcedMismatch{
+					Epoch: EpochID{Rank: p.Rank(), LC: e.lc}, Forced: forced, Got: e.chosen,
+				})
+			}
+		}
+		if op.SuppressFound {
+			return // the application saw not-found; no source epoch follows
+		}
+	}
 	if !op.WasAnySource || !found {
 		// Nonblocking probes count only when the runtime reports a message
 		// ready (flag=true), as in the paper.
@@ -696,6 +822,9 @@ func (t *Tool) sweepUnmatched(st *rankState) {
 			}
 			st.clockBuf = mclock[:0]
 			for _, e := range st.epochs {
+				if !e.kind.MatchKind() {
+					continue
+				}
 				if e.commID != commID {
 					continue
 				}

@@ -85,8 +85,11 @@ func NewPruneHints(sets map[PruneHintKey][]int) *PruneHints {
 }
 
 func (h *PruneHints) key(rec *EpochRecord) (PruneHintKey, []int, bool) {
-	// Hints are derived for the world communicator only.
-	if rec.CommID != 0 {
+	// Hints are derived for the world communicator only, and only for the
+	// message-match epoch kinds the static analysis models: a completion or
+	// outcome epoch (Waitany index, Iprobe flag) encodes no sender and must
+	// not be classified as a recv/probe hint.
+	if rec.CommID != 0 || !rec.Kind.MatchKind() {
 		return PruneHintKey{}, nil, false
 	}
 	k := PruneHintKey{Rank: rec.Rank, Tag: rec.Tag, Probe: rec.Kind == ProbeEpoch}
@@ -138,6 +141,22 @@ func (h *PruneHints) ShouldPrune(rec *EpochRecord) bool {
 	}
 	h.pruned.Add(int64(len(rec.Alternates)))
 	return true
+}
+
+// WouldPrune is the read-only form of ShouldPrune: it reports whether
+// branching at rec would be skipped without accounting the alternates as
+// pruned. The sampling subsystem uses it to keep walks off statically
+// deterministic decision points without double-counting the exhaustive
+// zone's statistics.
+func (h *PruneHints) WouldPrune(rec *EpochRecord) bool {
+	if h == nil || rec == nil || rec.Chosen < 0 || len(rec.Alternates) == 0 {
+		return false
+	}
+	if h.disabled.Load() {
+		return false
+	}
+	_, set, ok := h.key(rec)
+	return ok && len(set) == 1 && set[0] == rec.Chosen
 }
 
 // Pruned returns the number of alternate branches skipped so far.

@@ -26,11 +26,60 @@ type SubtreeTask struct {
 	// Explorable reports whether frames discovered by this task's run may
 	// be flipped at all; false once the mixing budget is exhausted.
 	Explorable bool `json:"explorable"`
+	// Depth is the task's level in the flip tree (root = 0; each child is
+	// one deeper). The sampling subsystem bounds exhaustive expansion by it
+	// ("exhaustive below depth d, sampled beyond").
+	Depth int `json:"depth,omitempty"`
+	// Sample, when non-nil, marks this task as one step of a sampled
+	// random walk rather than part of the exhaustive frontier; it carries
+	// the walk's deterministic generator state so the walk continues
+	// identically on whichever engine or worker runs the task.
+	Sample *SampleState `json:"sample,omitempty"`
+}
+
+// SampleState is the serialized generator state of one schedule-sampling
+// walk, threaded through the task (and therefore the wire protocol and
+// checkpoints) so walks are engine- and worker-independent: the next step is
+// a pure function of this state and the completed run's trace.
+type SampleState struct {
+	// Walk is the walk's index (seed derivation: mix(Seed, Walk)).
+	Walk int `json:"walk"`
+	// Step is this task's step number within the walk (1-based).
+	Step int `json:"step"`
+	// Rng is the generator state after deriving this task.
+	Rng uint64 `json:"rng"`
+	// Prio is the PCT-style per-value priority permutation (nil for the
+	// uniform random-walk strategy).
+	Prio []int `json:"prio,omitempty"`
+	// NextChange is the step at which the PCT-style sampler re-derives its
+	// priority permutation (a priority change point).
+	NextChange int `json:"next_change,omitempty"`
+}
+
+// Clone returns a deep copy of the sample state.
+func (s *SampleState) Clone() *SampleState {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Prio = append([]int(nil), s.Prio...)
+	return &out
 }
 
 // RootTask returns the task of the initial self-discovery run.
 func RootTask(cfg *ExplorerConfig) *SubtreeTask {
 	return &SubtreeTask{Decisions: nil, Budget: cfg.MixingBound, Explorable: true}
+}
+
+// Sampler is a schedule-sampling policy: it replaces exhaustive task
+// expansion when set on the ExplorerConfig, deciding per completed task what
+// (if anything) runs next. internal/sample provides the seeded uniform
+// random-walk and PCT-style implementations.
+type Sampler interface {
+	// Expand derives the child tasks of a completed, non-deadlocked run.
+	// Implementations must be deterministic functions of (t, trace) — every
+	// engine and worker must derive the identical child set.
+	Expand(t *SubtreeTask, cfg *ExplorerConfig, trace *RunTrace) *Expansion
 }
 
 // Expansion is what one completed task's trace contributes to the search:
@@ -49,11 +98,24 @@ type Expansion struct {
 	AutoAbstracted int
 }
 
-// Expand derives the child subtree tasks of a completed, non-deadlocked run,
-// mirroring the serial explorer's pushNew/buildDecisions exactly: a child's
-// prefix is the task's own decisions, plus every new epoch observed before
-// the flipped one pinned to its observed choice, plus the flip itself.
+// Expand derives the child subtree tasks of a completed, non-deadlocked run.
+// With a Sampler configured, expansion is delegated to it (the one seam all
+// engines — serial, work-stealing, distributed — route completions through,
+// which is what makes sampling engine-agnostic); otherwise the exhaustive
+// derivation runs.
 func (t *SubtreeTask) Expand(cfg *ExplorerConfig, trace *RunTrace) *Expansion {
+	if cfg.Sampler != nil {
+		return cfg.Sampler.Expand(t, cfg, trace)
+	}
+	return t.ExpandExhaustive(cfg, trace)
+}
+
+// ExpandExhaustive is the exhaustive DFS derivation, mirroring the serial
+// explorer's pushNew/buildDecisions exactly: a child's prefix is the task's
+// own decisions, plus every new epoch observed before the flipped one pinned
+// to its observed choice, plus the flip itself. Samplers call it for the
+// depth-bounded exhaustive zone below their sampling frontier.
+func (t *SubtreeTask) ExpandExhaustive(cfg *ExplorerConfig, trace *RunTrace) *Expansion {
 	ex := &Expansion{}
 	det := newLoopDetector(cfg.AutoLoopThreshold)
 	budget, explorable := childBudget(t.Budget)
@@ -84,12 +146,81 @@ func (t *SubtreeTask) Expand(cfg *ExplorerConfig, trace *RunTrace) *Expansion {
 					Decisions:  d,
 					Budget:     budget,
 					Explorable: explorable,
+					Depth:      t.Depth + 1,
 				})
 			}
 		}
 		prefix = append(prefix, rec)
 	}
 	return ex
+}
+
+// Flippable is one record of a completed run eligible for flipping, with the
+// prefix pins a child flipping it must carry. Samplers enumerate these to
+// choose their next step.
+type Flippable struct {
+	// Rec is the flippable epoch (Chosen >= 0, at least one alternate).
+	Rec *EpochRecord
+	// Prefix holds the new epochs observed before Rec, in commit order; a
+	// child pins each to its observed choice.
+	Prefix []*EpochRecord
+}
+
+// FlippableRecords scans a completed run's trace with the exhaustive
+// expansion's eligibility rules (skip never-completed and forced-prefix
+// epochs, loop regions, auto-abstracted repetitions, statically pruned
+// points) and returns the flip candidates. The scan is read-only: it does
+// not feed the PruneHints cross-check or any counters, so callers that did
+// not also run an expansion over the trace must call ObserveEpochs first
+// (the hint cross-check is only sound if it sees every run's matches).
+func (t *SubtreeTask) FlippableRecords(cfg *ExplorerConfig, trace *RunTrace) []Flippable {
+	var out []Flippable
+	det := newLoopDetector(cfg.AutoLoopThreshold)
+	var prefix []*EpochRecord
+	for _, rec := range trace.Epochs {
+		if rec.Chosen < 0 {
+			continue
+		}
+		autoLoop := det.observe(rec)
+		if _, ok := t.Decisions.Lookup(rec.Rank, rec.LC); ok {
+			continue
+		}
+		if len(rec.Alternates) > 0 && !rec.InLoop && !autoLoop && !cfg.PruneHints.WouldPrune(rec) {
+			out = append(out, Flippable{Rec: rec, Prefix: prefix})
+		}
+		prefix = append(prefix, rec)
+	}
+	return out
+}
+
+// ObserveEpochs feeds every completed epoch of a trace to the static
+// prune-hint cross-check, for expansion paths (sampled walk steps) that
+// bypass ExpandExhaustive.
+func ObserveEpochs(cfg *ExplorerConfig, trace *RunTrace) {
+	if cfg.PruneHints == nil {
+		return
+	}
+	for _, rec := range trace.Epochs {
+		cfg.PruneHints.Observe(rec)
+	}
+}
+
+// FlipChild builds the child task that flips f to the given alternate: the
+// inherited decisions, plus f's prefix pinned to its observed choices, plus
+// the flip — the same shape (and therefore the same dedup key) an exhaustive
+// child of the same flip would have.
+func (t *SubtreeTask) FlipChild(f Flippable, alt int) *SubtreeTask {
+	d := t.Decisions.CloneWithCapacity(len(f.Prefix) + 1)
+	for _, p := range f.Prefix {
+		d.Force(p.ID(), p.Chosen)
+	}
+	d.Force(f.Rec.ID(), alt)
+	return &SubtreeTask{
+		Decisions:  d,
+		Budget:     Unbounded,
+		Explorable: true,
+		Depth:      t.Depth + 1,
+	}
 }
 
 // childBudget derives the mixing budget of frames discovered below a flip of

@@ -52,24 +52,55 @@ func (m Mode) String() string {
 	return "SELF_RUN"
 }
 
-// EpochKind distinguishes the two sources of MPI receive non-determinism.
+// EpochKind distinguishes the sources of MPI non-determinism the verifier
+// records as decision points.
 type EpochKind int
 
-// Epoch kinds.
+// Epoch kinds. RecvEpoch and ProbeEpoch are the paper's match
+// non-determinism; the remaining kinds are the opt-in completion/outcome
+// choice points (ToolConfig.Choices) that the schedule-sampling subsystem
+// explores.
 const (
 	// RecvEpoch is a wildcard (MPI_ANY_SOURCE) receive.
 	RecvEpoch EpochKind = iota
 	// ProbeEpoch is a wildcard probe whose outcome was observed (blocking
 	// probe, or nonblocking probe returning found=true).
 	ProbeEpoch
+	// WaitanyEpoch is a Waitany completion choice: Chosen is the completed
+	// request index; Alternates are the other request indexes that had also
+	// completed (unconsumed) when the call returned.
+	WaitanyEpoch
+	// TestanyEpoch is a positive Testany outcome (a Waitsome iteration is a
+	// Waitany plus Testany epochs); encoding as WaitanyEpoch. Negative
+	// outcomes are timing noise and record nothing.
+	TestanyEpoch
+	// IprobeEpoch is an Iprobe outcome choice: Chosen is 1 when the poll
+	// reported a message (Alternates then holds 0, the suppressed not-found
+	// branch) and 0 when a guided replay suppressed the find. Natural
+	// not-found polls record nothing — their count is timing-dependent, and
+	// recording them would break (rank, LC) decision alignment across runs.
+	IprobeEpoch
 )
 
 func (k EpochKind) String() string {
-	if k == ProbeEpoch {
+	switch k {
+	case ProbeEpoch:
 		return "probe"
+	case WaitanyEpoch:
+		return "waitany"
+	case TestanyEpoch:
+		return "testany"
+	case IprobeEpoch:
+		return "iprobe"
 	}
 	return "recv"
 }
+
+// MatchKind reports whether the epoch kind carries a message-match decision
+// (whose Chosen/Alternates are communicator-local sources discovered by
+// late-message analysis). Completion and outcome epochs encode request
+// indexes or found flags instead and take no part in match analysis.
+func (k EpochKind) MatchKind() bool { return k == RecvEpoch || k == ProbeEpoch }
 
 // EpochRecord is one wildcard decision point observed during a run: the
 // epoch's identity (Rank, LC), what it matched, and the potential alternate

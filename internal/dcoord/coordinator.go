@@ -10,6 +10,7 @@ import (
 
 	"dampi/internal/core"
 	"dampi/internal/dexplore"
+	"dampi/internal/sample"
 )
 
 // Config configures a coordinator. The coordinator never replays anything
@@ -111,28 +112,29 @@ type Coordinator struct {
 	// completion with a jobdone frame and leaves every connection open.
 	managed bool
 
-	mu           sync.Mutex
-	ln           net.Listener
-	workers      map[*workerConn]struct{}
-	frontier     []*core.SubtreeTask // LIFO stack of pending tasks
-	leases       map[uint64]*lease
-	nextLease    uint64
-	done         map[string]bool // completed task keys (dedup after requeue)
-	redelivered  map[string]int  // requeue count per task key
-	requeues     int             // total lease requeues
-	report       *core.Report
-	rootDone     bool
-	stopped      bool // drain: no new leases (Stop or StopOnFirstError)
-	noFinalCkp   bool // Abort: crash semantics, skip the final checkpoint
-	finished     bool
-	runErr       error
-	sinceCkp     int
-	start        time.Time
-	rate         *dexplore.RateTracker
-	doneCh       chan struct{}
-	janitorStop  chan struct{}
-	monitorStop  chan struct{}
-	monitorWG    sync.WaitGroup
+	mu          sync.Mutex
+	ln          net.Listener
+	workers     map[*workerConn]struct{}
+	frontier    []*core.SubtreeTask // LIFO stack of pending tasks
+	leases      map[uint64]*lease
+	nextLease   uint64
+	done        map[string]bool     // completed task keys (dedup after requeue)
+	redelivered map[string]int      // requeue count per task key
+	requeues    int                 // total lease requeues
+	sampledKeys map[string]struct{} // distinct sampled decision vectors
+	report      *core.Report
+	rootDone    bool
+	stopped     bool // drain: no new leases (Stop or StopOnFirstError)
+	noFinalCkp  bool // Abort: crash semantics, skip the final checkpoint
+	finished    bool
+	runErr      error
+	sinceCkp    int
+	start       time.Time
+	rate        *dexplore.RateTracker
+	doneCh      chan struct{}
+	janitorStop chan struct{}
+	monitorStop chan struct{}
+	monitorWG   sync.WaitGroup
 }
 
 // New creates a coordinator. It validates Resume against the fingerprint and
@@ -162,6 +164,7 @@ func New(cfg Config) (*Coordinator, error) {
 		leases:      make(map[uint64]*lease),
 		done:        make(map[string]bool),
 		redelivered: make(map[string]int),
+		sampledKeys: make(map[string]struct{}),
 		report:      &core.Report{},
 		rate:        dexplore.NewRateTracker(dexplore.RateWindow),
 		doneCh:      make(chan struct{}),
@@ -183,16 +186,28 @@ func New(cfg Config) (*Coordinator, error) {
 }
 
 // fingerprintExplorerConfig projects a fingerprint onto the ExplorerConfig
-// fields checkpoint validation and RootTask consult.
+// fields checkpoint validation and RootTask consult, rebuilding the seeded
+// sampler for sampling fingerprints so checkpoint signatures match.
 func fingerprintExplorerConfig(f Fingerprint) core.ExplorerConfig {
-	return core.ExplorerConfig{
+	cfg := core.ExplorerConfig{
 		Procs:             f.Procs,
 		Clock:             f.Clock,
 		DualClock:         f.DualClock,
 		Transport:         f.Transport,
 		MixingBound:       f.MixingBound,
 		AutoLoopThreshold: f.AutoLoopThreshold,
+		ChoicePoints:      f.ChoicePoints,
+		SampleDepth:       f.SampleDepth,
 	}
+	if f.SampleStrategy != "" {
+		cfg.Sampler = sample.New(sample.Config{
+			Strategy: sample.Strategy(f.SampleStrategy),
+			Samples:  f.Samples,
+			Seed:     f.SampleSeed,
+			Procs:    f.Procs,
+		})
+	}
+	return cfg
 }
 
 // seedFromCheckpoint restores aggregates and frontier. The checkpoint's
@@ -206,6 +221,11 @@ func (c *Coordinator) seedFromCheckpoint(ckp *dexplore.Checkpoint) {
 	c.report.WildcardsAnalyzed = ckp.WildcardsAnalyzed
 	c.report.Unsafe = ckp.Unsafe
 	c.report.FirstTrace = ckp.FirstTrace
+	c.report.Sampled = ckp.Sampled
+	for _, k := range ckp.SampledKeys {
+		c.sampledKeys[k] = struct{}{}
+	}
+	c.report.SampledDistinct = len(c.sampledKeys)
 	for _, ce := range ckp.Errors {
 		c.report.Errors = append(c.report.Errors, &core.InterleavingResult{
 			Err:       errors.New(ce.Message),
@@ -610,6 +630,13 @@ func (c *Coordinator) handleResult(w *workerConn, res *WireResult) {
 	}
 	c.report.DecisionPoints += res.DecisionPoints
 	c.report.AutoAbstracted += res.AutoAbstracted
+	if res.Sampled && res.Decisions != nil {
+		// Task identity (res.Key) carries the walk/step suffix; schedule
+		// identity is the decision vector alone.
+		c.report.Sampled++
+		c.sampledKeys[res.Decisions.String()] = struct{}{}
+		c.report.SampledDistinct = len(c.sampledKeys)
+	}
 	c.frontier = append(c.frontier, res.Children...)
 	if res.Root != nil {
 		c.report.WildcardsAnalyzed = res.Root.WildcardsAnalyzed
@@ -698,6 +725,10 @@ func (c *Coordinator) finalize() {
 	sort.SliceStable(c.report.Errors, func(i, j int) bool {
 		return c.report.Errors[i].Decisions.String() < c.report.Errors[j].Decisions.String()
 	})
+	for k := range c.sampledKeys {
+		c.report.SampledSchedules = append(c.report.SampledSchedules, k)
+	}
+	sort.Strings(c.report.SampledSchedules)
 	var ckp *dexplore.Checkpoint
 	if c.cfg.CheckpointPath != "" && !c.noFinalCkp {
 		ckp = c.checkpointLocked()
@@ -743,6 +774,7 @@ func (c *Coordinator) finalize() {
 // Caller holds c.mu.
 func (c *Coordinator) checkpointLocked() *dexplore.Checkpoint {
 	f := c.cfg.Fingerprint
+	ecfg := fingerprintExplorerConfig(f)
 	ckp := &dexplore.Checkpoint{
 		Version:           1,
 		Workload:          f.Workload,
@@ -752,14 +784,22 @@ func (c *Coordinator) checkpointLocked() *dexplore.Checkpoint {
 		Transport:         f.Transport,
 		MixingBound:       f.MixingBound,
 		AutoLoopThreshold: f.AutoLoopThreshold,
+		ChoicePoints:      f.ChoicePoints,
+		SampleDepth:       f.SampleDepth,
+		Sampler:           dexplore.SignatureOf(&ecfg),
 		Interleavings:     c.report.Interleavings,
 		Deadlocks:         c.report.Deadlocks,
 		DecisionPoints:    c.report.DecisionPoints,
 		AutoAbstracted:    c.report.AutoAbstracted,
 		WildcardsAnalyzed: c.report.WildcardsAnalyzed,
+		Sampled:           c.report.Sampled,
 		Unsafe:            c.report.Unsafe,
 		FirstTrace:        c.report.FirstTrace,
 	}
+	for k := range c.sampledKeys {
+		ckp.SampledKeys = append(ckp.SampledKeys, k)
+	}
+	sort.Strings(ckp.SampledKeys)
 	for _, res := range c.report.Errors {
 		ckp.Errors = append(ckp.Errors, &dexplore.CheckpointError{
 			Message:   res.Err.Error(),

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"dampi/internal/core"
+	"dampi/internal/sample"
 )
 
 // protoVersion guards the frame format; a worker with a different protocol
@@ -142,11 +143,16 @@ type WireResult struct {
 	Fatal string `json:"fatal,omitempty"`
 
 	// Interleaving outcome.
-	ErrMsg     string               `json:"err,omitempty"`
-	Deadlock   bool                 `json:"deadlock,omitempty"`
-	Decisions  *core.Decisions      `json:"decisions,omitempty"`
-	Epochs     int                  `json:"epochs,omitempty"`
+	ErrMsg     string                `json:"err,omitempty"`
+	Deadlock   bool                  `json:"deadlock,omitempty"`
+	Decisions  *core.Decisions       `json:"decisions,omitempty"`
+	Epochs     int                   `json:"epochs,omitempty"`
 	Mismatches []core.ForcedMismatch `json:"mismatches,omitempty"`
+
+	// Sampled marks a walk-step completion (schedule sampling): the
+	// coordinator counts it toward the sampled-schedule totals, with
+	// Decisions as the distinct-vector dedup key.
+	Sampled bool `json:"sampled,omitempty"`
 
 	// Expansion (empty for deadlocked runs).
 	Children       []*core.SubtreeTask `json:"children,omitempty"`
@@ -187,6 +193,14 @@ type JobSpec struct {
 	MixingBound       int            `json:"mixing_bound"`
 	AutoLoopThreshold int            `json:"auto_loop_threshold,omitempty"`
 
+	// Schedule-sampling parameters (all omitempty: an exhaustive spec keys
+	// and fingerprints exactly as before the sampling subsystem existed).
+	ChoicePoints   bool   `json:"choice_points,omitempty"`
+	SampleStrategy string `json:"sample_strategy,omitempty"` // "" = exhaustive
+	Samples        int    `json:"samples,omitempty"`
+	SampleSeed     uint64 `json:"sample_seed,omitempty"`
+	SampleDepth    int    `json:"sample_depth,omitempty"`
+
 	// Job-level bounds.
 	MaxInterleavings int  `json:"max_interleavings,omitempty"`
 	StopOnFirstError bool `json:"stop_on_first_error,omitempty"`
@@ -201,6 +215,12 @@ func (s *JobSpec) Normalize() {
 	if s.Iters == 0 {
 		s.Iters = 4
 	}
+	// A sampling spec branches on choice points by definition (walk flips
+	// include Waitany/Iprobe outcomes), exactly as verify.Config forces for
+	// local runs; normalizing it here keeps raw REST submissions consistent.
+	if s.SampleStrategy != "" {
+		s.ChoicePoints = true
+	}
 }
 
 // Validate rejects a spec no worker could run.
@@ -210,6 +230,11 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Procs < 1 {
 		return fmt.Errorf("dcoord: job spec procs must be >= 1, got %d", s.Procs)
+	}
+	if s.SampleStrategy != "" {
+		if _, err := sample.ParseStrategy(s.SampleStrategy); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -225,20 +250,38 @@ func (s *JobSpec) Fingerprint() Fingerprint {
 		Transport:         s.Transport,
 		MixingBound:       s.MixingBound,
 		AutoLoopThreshold: s.AutoLoopThreshold,
+		ChoicePoints:      s.ChoicePoints,
+		SampleStrategy:    s.SampleStrategy,
+		Samples:           s.Samples,
+		SampleSeed:        s.SampleSeed,
+		SampleDepth:       s.SampleDepth,
 	}
 }
 
 // ExplorerConfig projects the spec onto the per-worker replay configuration
-// (the program itself is attached by the worker's factory).
+// (the program itself is attached by the worker's factory). A sampling spec
+// gets its sampler built here, so every worker derives the identical seeded
+// schedule set.
 func (s *JobSpec) ExplorerConfig() core.ExplorerConfig {
-	return core.ExplorerConfig{
+	cfg := core.ExplorerConfig{
 		Procs:             s.Procs,
 		Clock:             s.Clock,
 		DualClock:         s.DualClock,
 		Transport:         s.Transport,
 		MixingBound:       s.MixingBound,
 		AutoLoopThreshold: s.AutoLoopThreshold,
+		ChoicePoints:      s.ChoicePoints,
+		SampleDepth:       s.SampleDepth,
 	}
+	if s.SampleStrategy != "" {
+		cfg.Sampler = sample.New(sample.Config{
+			Strategy: sample.Strategy(s.SampleStrategy),
+			Samples:  s.Samples,
+			Seed:     s.SampleSeed,
+			Procs:    s.Procs,
+		})
+	}
+	return cfg
 }
 
 // Key is the spec's canonical identity: the hex SHA-256 of its normalized
@@ -269,14 +312,24 @@ type Fingerprint struct {
 	Transport         core.Transport `json:"transport"`
 	MixingBound       int            `json:"mixing_bound"`
 	AutoLoopThreshold int            `json:"auto_loop_threshold,omitempty"`
+
+	// Schedule-sampling parameters. A mismatch in any of them means the two
+	// sides would derive different choice-point spaces or different seeded
+	// schedule sets from the same trace.
+	ChoicePoints   bool   `json:"choice_points,omitempty"`
+	SampleStrategy string `json:"sample_strategy,omitempty"` // "" = exhaustive
+	Samples        int    `json:"samples,omitempty"`
+	SampleSeed     uint64 `json:"sample_seed,omitempty"`
+	SampleDepth    int    `json:"sample_depth,omitempty"`
 }
 
 // FingerprintFor derives the fingerprint of an exploration: the workload
 // name plus every ExplorerConfig field that shapes the interleaving space.
 // Coordinator and workers build theirs through this one function so the two
-// cannot drift.
+// cannot drift. Sampler parameters are read back from the config's sampler
+// when it is the standard internal/sample implementation.
 func FingerprintFor(workload string, cfg *core.ExplorerConfig) Fingerprint {
-	return Fingerprint{
+	f := Fingerprint{
 		Workload:          workload,
 		Procs:             cfg.Procs,
 		Clock:             cfg.Clock,
@@ -284,7 +337,16 @@ func FingerprintFor(workload string, cfg *core.ExplorerConfig) Fingerprint {
 		Transport:         cfg.Transport,
 		MixingBound:       cfg.MixingBound,
 		AutoLoopThreshold: cfg.AutoLoopThreshold,
+		ChoicePoints:      cfg.ChoicePoints,
+		SampleDepth:       cfg.SampleDepth,
 	}
+	if s, ok := cfg.Sampler.(*sample.Sampler); ok {
+		sc := s.Config()
+		f.SampleStrategy = string(sc.Strategy)
+		f.Samples = sc.Samples
+		f.SampleSeed = sc.Seed
+	}
+	return f
 }
 
 // Check compares a worker's fingerprint against the coordinator's, returning
@@ -305,6 +367,16 @@ func (f Fingerprint) Check(worker Fingerprint) error {
 		return fmt.Errorf("dcoord: mixing bound mismatch: coordinator k=%d, worker k=%d", f.MixingBound, worker.MixingBound)
 	case f.AutoLoopThreshold != worker.AutoLoopThreshold:
 		return fmt.Errorf("dcoord: autoloop mismatch: coordinator %d, worker %d", f.AutoLoopThreshold, worker.AutoLoopThreshold)
+	case f.ChoicePoints != worker.ChoicePoints:
+		return fmt.Errorf("dcoord: choice-points mismatch: coordinator %v, worker %v", f.ChoicePoints, worker.ChoicePoints)
+	case f.SampleStrategy != worker.SampleStrategy:
+		return fmt.Errorf("dcoord: sample strategy mismatch: coordinator %q, worker %q", f.SampleStrategy, worker.SampleStrategy)
+	case f.Samples != worker.Samples:
+		return fmt.Errorf("dcoord: sample budget mismatch: coordinator %d, worker %d", f.Samples, worker.Samples)
+	case f.SampleSeed != worker.SampleSeed:
+		return fmt.Errorf("dcoord: sample seed mismatch: coordinator %d, worker %d", f.SampleSeed, worker.SampleSeed)
+	case f.SampleDepth != worker.SampleDepth:
+		return fmt.Errorf("dcoord: sample depth mismatch: coordinator %d, worker %d", f.SampleDepth, worker.SampleDepth)
 	}
 	return nil
 }
@@ -353,4 +425,19 @@ func readFrame(r io.Reader) (*frame, error) {
 // signature. Each task in one exploration has a distinct prefix (the serial
 // explorer's per-interleaving signatures are distinct by construction), so
 // the key is unique and survives requeue/redelivery.
-func taskKey(t *core.SubtreeTask) string { return t.Decisions.String() }
+//
+// Walk-step tasks (schedule sampling) carry a walk/step suffix: a walk may
+// land on a decision vector an exhaustive child of the same exploration
+// already completed, and keying by the vector alone would make the done-set
+// dedup swallow the step — silently killing the walk chain. The suffix keeps
+// task identity (lease/requeue/dedup) distinct from schedule identity; the
+// sampled distinct-vector count uses the bare Decisions signature instead
+// (Decisions.String never contains '|', so the suffix cannot collide with an
+// exhaustive key).
+func taskKey(t *core.SubtreeTask) string {
+	k := t.Decisions.String()
+	if s := t.Sample; s != nil {
+		k = fmt.Sprintf("%s|walk=%d,step=%d", k, s.Walk, s.Step)
+	}
+	return k
+}

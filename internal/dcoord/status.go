@@ -32,7 +32,12 @@ type Status struct {
 	// uniform with local reports.
 	StaticPruned int  `json:"static_pruned,omitempty"`
 	Capped       bool `json:"capped,omitempty"`
-	Workers       []WorkerStatus `json:"workers"`
+	// Sampled counts walk-step schedules merged in sampling mode (0 for
+	// exhaustive explorations); SampledDistinct is the size of the distinct
+	// decision-vector set among them.
+	Sampled         int            `json:"sampled,omitempty"`
+	SampledDistinct int            `json:"sampled_distinct,omitempty"`
+	Workers         []WorkerStatus `json:"workers"`
 }
 
 // WorkerStatus is one connected worker's live state.
@@ -62,22 +67,24 @@ func (c *Coordinator) Status() Status {
 	}
 	c.rate.Observe(now, c.report.Interleavings)
 	st := Status{
-		State:         "exploring",
-		Workload:      c.cfg.Fingerprint.Workload,
-		Procs:         c.cfg.Fingerprint.Procs,
-		ElapsedSec:    elapsed.Seconds(),
-		Interleavings: c.report.Interleavings,
-		Errors:        len(c.report.Errors),
-		Deadlocks:     c.report.Deadlocks,
-		DecisionPts:   c.report.DecisionPoints,
-		FrontierDepth: len(c.frontier),
-		ActiveLeases:  len(c.leases),
-		DoneSet:       len(c.done),
-		Requeues:      c.requeues,
-		MeanPerSec:    mean,
-		WindowPerSec:  window,
-		StaticPruned:  c.report.StaticPruned,
-		Capped:        c.report.Capped,
+		State:           "exploring",
+		Workload:        c.cfg.Fingerprint.Workload,
+		Procs:           c.cfg.Fingerprint.Procs,
+		ElapsedSec:      elapsed.Seconds(),
+		Interleavings:   c.report.Interleavings,
+		Errors:          len(c.report.Errors),
+		Deadlocks:       c.report.Deadlocks,
+		DecisionPts:     c.report.DecisionPoints,
+		FrontierDepth:   len(c.frontier),
+		ActiveLeases:    len(c.leases),
+		DoneSet:         len(c.done),
+		Requeues:        c.requeues,
+		MeanPerSec:      mean,
+		WindowPerSec:    window,
+		StaticPruned:    c.report.StaticPruned,
+		Capped:          c.report.Capped,
+		Sampled:         c.report.Sampled,
+		SampledDistinct: c.report.SampledDistinct,
 	}
 	switch {
 	case c.runErr != nil:
@@ -150,6 +157,8 @@ func WriteMetrics(w io.Writer, st Status) {
 	fmt.Fprintf(w, "# HELP dampi_errors_total Failing interleavings found.\n# TYPE dampi_errors_total counter\ndampi_errors_total %d\n", st.Errors)
 	fmt.Fprintf(w, "# HELP dampi_deadlocks_total Deadlocked interleavings found.\n# TYPE dampi_deadlocks_total counter\ndampi_deadlocks_total %d\n", st.Deadlocks)
 	fmt.Fprintf(w, "# HELP dampi_static_pruned_total Branches skipped by static prune hints.\n# TYPE dampi_static_pruned_total counter\ndampi_static_pruned_total %d\n", st.StaticPruned)
+	fmt.Fprintf(w, "# HELP dampi_sampled_schedules_total Walk-step schedules merged in sampling mode.\n# TYPE dampi_sampled_schedules_total counter\ndampi_sampled_schedules_total %d\n", st.Sampled)
+	fmt.Fprintf(w, "# HELP dampi_sample_duplicates_total Sampled schedules whose decision vector was already sampled.\n# TYPE dampi_sample_duplicates_total counter\ndampi_sample_duplicates_total %d\n", st.Sampled-st.SampledDistinct)
 	fmt.Fprintf(w, "# HELP dampi_workers_connected Connected workers.\n# TYPE dampi_workers_connected gauge\ndampi_workers_connected %d\n", len(st.Workers))
 	fmt.Fprintf(w, "# HELP dampi_worker_lease_age_seconds Age of each worker's oldest outstanding lease.\n# TYPE dampi_worker_lease_age_seconds gauge\n")
 	for _, ws := range st.Workers {

@@ -485,7 +485,7 @@ read:
 // self-discovery extras.
 func (w *Worker) execute(rt *jobRuntime, rc *core.RunContext, wt wireTask) *WireResult {
 	t := wt.Task
-	out := &WireResult{Lease: wt.Lease, Key: taskKey(t)}
+	out := &WireResult{Lease: wt.Lease, Key: taskKey(t), Sampled: t.Sample != nil}
 	trace, res, err := rc.Run(t.Decisions)
 	if err != nil {
 		out.Fatal = err.Error()

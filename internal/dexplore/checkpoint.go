@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"dampi/internal/core"
 )
@@ -36,6 +37,14 @@ type Checkpoint struct {
 	Transport         core.Transport `json:"transport"`
 	MixingBound       int            `json:"mixing_bound"`
 	AutoLoopThreshold int            `json:"auto_loop_threshold,omitempty"`
+	ChoicePoints      bool           `json:"choice_points,omitempty"`
+	SampleDepth       int            `json:"sample_depth,omitempty"`
+
+	// Sampler is the schedule-sampler signature ("" = exhaustive). A resumed
+	// run must use the identically parameterized sampler — strategy, budget
+	// and seed — or the walk-step tasks in the frontier would continue under a
+	// different generator stream.
+	Sampler string `json:"sampler,omitempty"`
 
 	// Aggregates of completed replays.
 	Interleavings     int                 `json:"interleavings"`
@@ -43,6 +52,8 @@ type Checkpoint struct {
 	DecisionPoints    int                 `json:"decision_points"`
 	AutoAbstracted    int                 `json:"auto_abstracted,omitempty"`
 	WildcardsAnalyzed int                 `json:"wildcards_analyzed"`
+	Sampled           int                 `json:"sampled,omitempty"`
+	SampledKeys       []string            `json:"sampled_keys,omitempty"`
 	Unsafe            []core.UnsafeReport `json:"unsafe,omitempty"`
 	Errors            []*CheckpointError  `json:"errors,omitempty"`
 
@@ -91,6 +102,26 @@ func (e *Engine) snapshotCheckpoint() *Checkpoint {
 	return e.buildCheckpoint(rep, frontier)
 }
 
+// SamplerSignature is the optional interface a core.Sampler implements to
+// make its parameters checkpointable: the string must change whenever the
+// sampler would derive a different schedule set (strategy, budget, seed).
+type SamplerSignature interface {
+	Signature() string
+}
+
+// SignatureOf renders a config's sampler for checkpoint validation ("" for
+// exhaustive configs, "custom" for samplers without a Signature).
+func SignatureOf(cfg *core.ExplorerConfig) string {
+	switch s := cfg.Sampler.(type) {
+	case nil:
+		return ""
+	case SamplerSignature:
+		return s.Signature()
+	default:
+		return "custom"
+	}
+}
+
 // buildCheckpoint serializes a gathered report plus frontier.
 func (e *Engine) buildCheckpoint(rep *core.Report, frontier []*core.SubtreeTask) *Checkpoint {
 	cfg := &e.cfg.Explorer
@@ -102,15 +133,25 @@ func (e *Engine) buildCheckpoint(rep *core.Report, frontier []*core.SubtreeTask)
 		Transport:         cfg.Transport,
 		MixingBound:       cfg.MixingBound,
 		AutoLoopThreshold: cfg.AutoLoopThreshold,
+		ChoicePoints:      cfg.ChoicePoints,
+		SampleDepth:       cfg.SampleDepth,
+		Sampler:           SignatureOf(cfg),
 		Interleavings:     rep.Interleavings,
 		Deadlocks:         rep.Deadlocks,
 		DecisionPoints:    rep.DecisionPoints,
 		AutoAbstracted:    rep.AutoAbstracted,
 		WildcardsAnalyzed: rep.WildcardsAnalyzed,
+		Sampled:           rep.Sampled,
 		Unsafe:            rep.Unsafe,
 		FirstTrace:        rep.FirstTrace,
 		Frontier:          frontier,
 	}
+	e.smu.Lock()
+	for k := range e.sampledKeys {
+		ckp.SampledKeys = append(ckp.SampledKeys, k)
+	}
+	e.smu.Unlock()
+	sort.Strings(ckp.SampledKeys)
 	for _, res := range rep.Errors {
 		ckp.Errors = append(ckp.Errors, &CheckpointError{
 			Message:   res.Err.Error(),
@@ -145,6 +186,12 @@ func (c *Checkpoint) Validate(workload string, cfg *core.ExplorerConfig) error {
 		return fmt.Errorf("dexplore: checkpoint k=%d, config k=%d", c.MixingBound, cfg.MixingBound)
 	case c.AutoLoopThreshold != cfg.AutoLoopThreshold:
 		return fmt.Errorf("dexplore: checkpoint autoloop=%d, config autoloop=%d", c.AutoLoopThreshold, cfg.AutoLoopThreshold)
+	case c.ChoicePoints != cfg.ChoicePoints:
+		return fmt.Errorf("dexplore: checkpoint choice-points=%v, config choice-points=%v", c.ChoicePoints, cfg.ChoicePoints)
+	case c.SampleDepth != cfg.SampleDepth:
+		return fmt.Errorf("dexplore: checkpoint sample-depth=%d, config sample-depth=%d", c.SampleDepth, cfg.SampleDepth)
+	case c.Sampler != SignatureOf(cfg):
+		return fmt.Errorf("dexplore: checkpoint sampler=%q, config sampler=%q", c.Sampler, SignatureOf(cfg))
 	}
 	return nil
 }
@@ -163,6 +210,13 @@ func (e *Engine) seedFromCheckpoint(ckp *Checkpoint) error {
 	e.base.WildcardsAnalyzed = ckp.WildcardsAnalyzed
 	e.base.Unsafe = ckp.Unsafe
 	e.base.FirstTrace = ckp.FirstTrace
+	e.sampledTotal = ckp.Sampled
+	if len(ckp.SampledKeys) > 0 {
+		e.sampledKeys = make(map[string]struct{}, len(ckp.SampledKeys))
+		for _, k := range ckp.SampledKeys {
+			e.sampledKeys[k] = struct{}{}
+		}
+	}
 	for _, ce := range ckp.Errors {
 		e.base.Errors = append(e.base.Errors, &core.InterleavingResult{
 			Err:       errors.New(ce.Message),

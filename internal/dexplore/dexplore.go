@@ -116,6 +116,13 @@ type Engine struct {
 	// the pool starts, read-only afterwards.
 	base core.Report
 
+	// Sampled-schedule accounting (schedule-sampling mode only). Walk-step
+	// completions are rare relative to the replay hot path, so a plain mutex
+	// around the dedup set is fine; exhaustive tasks never touch it.
+	smu          sync.Mutex
+	sampledTotal int
+	sampledKeys  map[string]struct{} // distinct sampled decision vectors
+
 	report *core.Report // merged at finish; returned by Explore
 
 	ckpMu sync.Mutex // serializes periodic checkpoint snapshot+save pairs
@@ -427,6 +434,25 @@ func (e *Engine) complete(w *worker, t *core.SubtreeTask, trace *core.RunTrace, 
 		return
 	}
 
+	if t.Sample != nil {
+		// One completed walk step = one sampled schedule. The dedup key is the
+		// run's fully resolved decision vector (forced prefix plus observed
+		// outcomes), not the walk identity: two walks whose forced prefixes
+		// resolve to the same complete schedule sampled one distinct schedule
+		// twice. The same key the distributed coordinator uses.
+		key := t.Decisions.String()
+		if res.Decisions != nil {
+			key = res.Decisions.String()
+		}
+		e.smu.Lock()
+		if e.sampledKeys == nil {
+			e.sampledKeys = make(map[string]struct{})
+		}
+		e.sampledTotal++
+		e.sampledKeys[key] = struct{}{}
+		e.smu.Unlock()
+	}
+
 	var ex *core.Expansion
 	if !res.Deadlock {
 		// Expansion builds decision clones; keep it outside any lock.
@@ -508,6 +534,14 @@ func (e *Engine) gatherLocked() *core.Report {
 		rep.AutoAbstracted += w.autoAbstracted
 		rep.Errors = append(rep.Errors, w.errors...)
 	}
+	e.smu.Lock()
+	rep.Sampled = e.sampledTotal
+	rep.SampledDistinct = len(e.sampledKeys)
+	for k := range e.sampledKeys {
+		rep.SampledSchedules = append(rep.SampledSchedules, k)
+	}
+	e.smu.Unlock()
+	sort.Strings(rep.SampledSchedules)
 	return rep
 }
 

@@ -48,10 +48,10 @@ type ServiceStatus struct {
 // enough for an operator (or an autoscaler) to decide whether the pool is
 // keeping up.
 type QueueHints struct {
-	QueueDepth       int     `json:"queue_depth"`
-	JobsRunning      int     `json:"jobs_running"`
-	WorkersConnected int     `json:"workers_connected"`
-	TotalSlots       int     `json:"total_slots"`
+	QueueDepth       int `json:"queue_depth"`
+	JobsRunning      int `json:"jobs_running"`
+	WorkersConnected int `json:"workers_connected"`
+	TotalSlots       int `json:"total_slots"`
 	// WindowPerSecond is the active exploration's trailing-window replay
 	// rate (0 when idle).
 	WindowPerSecond float64 `json:"window_per_second"`
@@ -250,6 +250,18 @@ func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP dampi_pool_slots Total concurrent replay slots across the pool.\n# TYPE dampi_pool_slots gauge\ndampi_pool_slots %d\n", a.svc.cfg.Server.TotalSlots())
 	if est, _, ok := a.svc.cfg.Server.CurrentStatus(); ok {
 		dcoord.WriteMetrics(&b, est)
+	} else {
+		// No live exploration: surface the cumulative sampling counters from
+		// finished jobs so a seeded-sampling run stays observable after it
+		// drains. The names match the live dcoord metrics; the two paths are
+		// mutually exclusive, so each scrape carries each name once.
+		var sampled, distinct int
+		for _, j := range a.svc.cfg.Store.List() {
+			sampled += j.Sampled
+			distinct += j.SampledDistinct
+		}
+		fmt.Fprintf(&b, "# HELP dampi_sampled_schedules_total Walk-step schedules merged in sampling mode.\n# TYPE dampi_sampled_schedules_total counter\ndampi_sampled_schedules_total %d\n", sampled)
+		fmt.Fprintf(&b, "# HELP dampi_sample_duplicates_total Sampled schedules whose decision vector was already sampled.\n# TYPE dampi_sample_duplicates_total counter\ndampi_sample_duplicates_total %d\n", sampled-distinct)
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -96,10 +96,16 @@ type Job struct {
 	CancelRequested bool `json:"cancel_requested,omitempty"`
 
 	// Summary counters, filled when the report lands (terminal Done).
-	Interleavings int  `json:"interleavings,omitempty"`
-	ErrorsFound   int  `json:"errors_found,omitempty"`
-	Deadlocks     int  `json:"deadlocks,omitempty"`
-	HasReport     bool `json:"has_report,omitempty"`
+	Interleavings int `json:"interleavings,omitempty"`
+	ErrorsFound   int `json:"errors_found,omitempty"`
+	Deadlocks     int `json:"deadlocks,omitempty"`
+	// Sampled/SampledDistinct carry a sampling-mode job's schedule counts so
+	// the service /metrics can aggregate them after the exploration drains
+	// (the live dcoord metrics disappear with the job). Zero for exhaustive
+	// jobs.
+	Sampled         int  `json:"sampled,omitempty"`
+	SampledDistinct int  `json:"sampled_distinct,omitempty"`
+	HasReport       bool `json:"has_report,omitempty"`
 }
 
 // Deadline returns the complete-by instant, or zero when the job has no TTL.

@@ -23,17 +23,25 @@ type JobError struct {
 // first trace is deliberately dropped — it is a per-run debugging artifact,
 // large, and not part of the service contract.
 type JobReport struct {
-	Workload          string             `json:"workload"`
-	Procs             int                `json:"procs"`
-	Interleavings     int                `json:"interleavings"`
-	Deadlocks         int                `json:"deadlocks"`
-	DecisionPoints    int                `json:"decision_points"`
-	AutoAbstracted    int                `json:"auto_abstracted,omitempty"`
-	WildcardsAnalyzed int                `json:"wildcards_analyzed"`
-	Capped            bool               `json:"capped,omitempty"`
-	Errors            []JobError         `json:"errors,omitempty"`
+	Workload          string              `json:"workload"`
+	Procs             int                 `json:"procs"`
+	Interleavings     int                 `json:"interleavings"`
+	Deadlocks         int                 `json:"deadlocks"`
+	DecisionPoints    int                 `json:"decision_points"`
+	AutoAbstracted    int                 `json:"auto_abstracted,omitempty"`
+	WildcardsAnalyzed int                 `json:"wildcards_analyzed"`
+	Capped            bool                `json:"capped,omitempty"`
+	Errors            []JobError          `json:"errors,omitempty"`
 	Unsafe            []core.UnsafeReport `json:"unsafe,omitempty"`
-	ElapsedSec        float64            `json:"elapsed_sec"`
+	// Sampling-mode aggregates (zero/absent for exhaustive jobs): the walk-
+	// step schedule count, the distinct decision-vector count among them, the
+	// job's exhaustive/sampled depth boundary, and the sorted distinct vector
+	// dump (the reproducibility artifact ci/sample_smoke.sh diffs).
+	Sampled          int      `json:"sampled,omitempty"`
+	SampledDistinct  int      `json:"sampled_distinct,omitempty"`
+	SampleDepth      int      `json:"sample_depth,omitempty"`
+	SampledSchedules []string `json:"sampled_schedules,omitempty"`
+	ElapsedSec       float64  `json:"elapsed_sec"`
 }
 
 // NewJobReport reduces a merged exploration report to its durable form.
@@ -50,6 +58,10 @@ func NewJobReport(spec dcoord.JobSpec, rep *core.Report, elapsedSec float64) *Jo
 		WildcardsAnalyzed: rep.WildcardsAnalyzed,
 		Capped:            rep.Capped,
 		Unsafe:            rep.Unsafe,
+		Sampled:           rep.Sampled,
+		SampledDistinct:   rep.SampledDistinct,
+		SampleDepth:       spec.SampleDepth,
+		SampledSchedules:  rep.SampledSchedules,
 		ElapsedSec:        elapsedSec,
 	}
 	for _, e := range rep.Errors {
@@ -76,6 +88,9 @@ func (r *JobReport) Summary() string {
 	if r.Capped {
 		s += " (capped)"
 	}
+	if r.Sampled > 0 {
+		s += fmt.Sprintf(" sampled=%d distinct=%d", r.Sampled, r.SampledDistinct)
+	}
 	if len(r.Unsafe) > 0 {
 		s += fmt.Sprintf(" unsafe-patterns=%d", len(r.Unsafe))
 	}
@@ -87,6 +102,10 @@ func (r *JobReport) Summary() string {
 func (r *JobReport) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "DAMPI: %s\n", r.Summary())
+	if r.Sampled > 0 {
+		fmt.Fprintf(&b, "  schedule sampling: exhaustive below depth %d, sampled %d schedules beyond, %d distinct\n",
+			r.SampleDepth, r.Sampled, r.SampledDistinct)
+	}
 	for _, u := range r.Unsafe {
 		fmt.Fprintf(&b, "  warning: %v\n", u)
 	}

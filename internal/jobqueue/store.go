@@ -406,6 +406,8 @@ func (s *Store) SetSummary(id string, rep *JobReport) (*Job, error) {
 		j.Interleavings = rep.Interleavings
 		j.ErrorsFound = len(rep.Errors)
 		j.Deadlocks = rep.Deadlocks
+		j.Sampled = rep.Sampled
+		j.SampledDistinct = rep.SampledDistinct
 		j.HasReport = true
 		return nil
 	})

@@ -1,0 +1,40 @@
+package mpilint
+
+// choicepoint: audit the schedule choice points beyond wildcard receives.
+// Waitany/Waitsome/Testany resolve schedule-dependently (which pending
+// request completes first), and every Iprobe is a found/not-found outcome the
+// verifier can branch on — even with a specific source, because the poll
+// races against message arrival. These are exactly the sites the sampling
+// subsystem flips (`dampi -sample`) and the exhaustive engines branch on
+// under -choice-points, so they carry the same [choice point] mark as the
+// wildcard audit's AnySource sites. Informational severity — the operations
+// are legal MPI; the census just tells the reader where schedule
+// non-determinism can enter a program whose wildcard audit is empty.
+
+var choicepointCheck = &checkDef{
+	name:     "choicepoint",
+	doc:      "audit of Waitany/Waitsome/Testany and Iprobe schedule choice points (informational)",
+	severity: SevInfo,
+	run:      runChoicepoint,
+}
+
+// completionChoiceMethods maps each multi-request completion call that
+// resolves schedule-dependently to what its outcome decides. Waitall/Testall
+// are excluded: they complete the whole slice, so no ordering is observable.
+var completionChoiceMethods = map[string]string{
+	"Waitany":  "completion index",
+	"Waitsome": "completion set",
+	"Testany":  "completion index",
+}
+
+func runChoicepoint(fc *funcCtx) {
+	for _, mc := range fc.calls {
+		if what, ok := completionChoiceMethods[mc.method]; ok {
+			fc.reportChoicef(mc.call, "completion choice: %s (%s is schedule-dependent) [choice point]", mc.method, what)
+			continue
+		}
+		if mc.method == "Iprobe" {
+			fc.reportChoicef(mc.call, "poll choice: Iprobe outcome is schedule-dependent [choice point]")
+		}
+	}
+}

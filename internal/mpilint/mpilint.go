@@ -84,10 +84,11 @@ type Diagnostic struct {
 	Message  string   `json:"message"`
 	Severity Severity `json:"-"`
 	Sev      string   `json:"severity"`
-	// ChoicePoint marks a wildcard-audit site the dynamic verifier actually
-	// branches on: an AnySource receive or probe. AnyTag-only sites are
-	// wild in the MPI sense but match a unique sender order at runtime, so
-	// they are audited without this mark.
+	// ChoicePoint marks a site the dynamic verifier actually branches on: an
+	// AnySource receive or probe (wildcard check), or a Waitany/Waitsome/
+	// Testany/Iprobe whose outcome is schedule-dependent (choicepoint check).
+	// AnyTag-only sites are wild in the MPI sense but match a unique sender
+	// order at runtime, so they are audited without this mark.
 	ChoicePoint bool `json:"choice_point,omitempty"`
 	Suppressed  bool `json:"suppressed,omitempty"`
 }
@@ -127,9 +128,23 @@ func (r *Report) Wildcards() []Diagnostic {
 	return out
 }
 
-// ChoicePoints returns the wildcard-audit sites the dynamic verifier
-// branches on: AnySource receives and probes. This is the static census the
-// dynamic engine's decision-point count should stay within.
+// ChoicePointAudit returns the choicepoint-check diagnostics: the
+// Waitany/Waitsome/Testany completion sites and Iprobe polls whose outcome
+// is schedule-dependent (the sites `dampi -sample` flips).
+func (r *Report) ChoicePointAudit() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Check == "choicepoint" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ChoicePoints returns every site the dynamic verifier branches on:
+// AnySource receives and probes (wildcard check) plus schedule-dependent
+// completion and poll sites (choicepoint check). This is the static census
+// the dynamic engine's decision-point count should stay within.
 func (r *Report) ChoicePoints() []Diagnostic {
 	var out []Diagnostic
 	for _, d := range r.Diags {
@@ -174,6 +189,7 @@ var allChecks = []*checkDef{
 	bufreuseCheck,
 	rankcollCheck,
 	wildcardCheck,
+	choicepointCheck,
 	orphanCheck,
 	tagmismatchCheck,
 	wilddetCheck,

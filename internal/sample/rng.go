@@ -1,0 +1,66 @@
+package sample
+
+// Seeded pseudo-random generation for schedule sampling. The generator is a
+// hand-rolled splitmix64 rather than math/rand: the Go standard library does
+// not guarantee its sequences stay stable across releases, and seed
+// determinism here is a wire contract — a coordinator and its workers (or a
+// CI baseline and a re-run months later) must derive byte-identical
+// schedules from the same seed.
+
+const (
+	golden = 0x9E3779B97F4A7C15
+	mixA   = 0xBF58476D1CE4E5B9
+	mixB   = 0x94D049BB133111EB
+)
+
+// next advances a splitmix64 state in place and returns the next output.
+func next(state *uint64) uint64 {
+	*state += golden
+	z := *state
+	z ^= z >> 30
+	z *= mixA
+	z ^= z >> 27
+	z *= mixB
+	z ^= z >> 31
+	return z
+}
+
+// mix finalizes a value into a well-distributed state (used to derive one
+// independent stream per walk from the single user seed).
+func mix(v uint64) uint64 {
+	z := v + golden
+	z ^= z >> 30
+	z *= mixA
+	z ^= z >> 27
+	z *= mixB
+	z ^= z >> 31
+	return z
+}
+
+// walkSeed derives walk w's generator state from the user seed.
+func walkSeed(seed uint64, w int) uint64 {
+	return mix(seed ^ mix(uint64(w)+1))
+}
+
+// pick returns a uniform index in [0, n) from the generator.
+func pick(state *uint64, n int) int {
+	if n <= 1 {
+		next(state) // burn one output so the stream shape is size-independent
+		return 0
+	}
+	return int(next(state) % uint64(n))
+}
+
+// permutation returns a seeded Fisher-Yates permutation of [0, n) — the
+// PCT-style priority assignment (permutation[v] is value v's priority).
+func permutation(state *uint64, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next(state) % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

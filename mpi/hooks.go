@@ -35,6 +35,25 @@ type ProbeOp struct {
 	Comm         Comm
 	Blocking     bool
 	WasAnySource bool
+	// SuppressFound, set by a PreProbe hook on a nonblocking probe, forces
+	// the call to report found=false to the application even when a matching
+	// message is queued (the message stays queued). This is how a guided
+	// replay enforces a recorded not-found outcome of an Iprobe choice point;
+	// blocking probes ignore it.
+	SuppressFound bool
+}
+
+// WaitanyOp describes a Waitany/Testany call entering the tool layer when a
+// choice-point tool is installed. Tools may set ForceIndex to determinize
+// which completion the call observes (how a guided replay enforces a recorded
+// Waitany completion index): the call then waits on that specific request
+// instead of taking the first available completion. A ForceIndex naming a
+// nil or already-consumed request is ignored (the replay records a mismatch
+// through the usual epoch machinery instead of failing).
+type WaitanyOp struct {
+	Reqs       []*Request
+	Blocking   bool // Waitany (true) vs Testany (false)
+	ForceIndex int  // -1: unforced
 }
 
 // CollKind identifies a collective operation.
@@ -97,6 +116,16 @@ type Hooks struct {
 	// Complete fires exactly once per request whose completion is observed
 	// by a Wait/Test-family call, on the observing rank.
 	Complete func(p *Proc, req *Request, st Status)
+
+	// PreWaitany/PostWaitany bracket the multi-request completion choice of
+	// Waitany and Testany (and therefore Waitsome, which is built from them).
+	// They fire only when installed — choice-point tracking is opt-in — and
+	// PostWaitany fires only for a positive outcome (some completion was
+	// observed): a Testany that found nothing ready is timing noise, not a
+	// decision. PostWaitany runs after the Complete hook for the consumed
+	// request, with the index the call returned.
+	PreWaitany  func(p *Proc, op *WaitanyOp)
+	PostWaitany func(p *Proc, op *WaitanyOp, idx int, st Status)
 
 	PreProbe  func(p *Proc, op *ProbeOp)
 	PostProbe func(p *Proc, op *ProbeOp, st Status, found bool)

@@ -256,11 +256,38 @@ func (p *Proc) Waitany(reqs []*Request) (int, Status, error) {
 	if h != nil && h.PreWait != nil {
 		h.PreWait(p, reqs)
 	}
-	idx, st, err := p.pmpi.Waitany(reqs)
+	if h == nil || (h.PreWaitany == nil && h.PostWaitany == nil) {
+		idx, st, err := p.pmpi.Waitany(reqs)
+		if err != nil {
+			return idx, st, err
+		}
+		p.observeCompletion(reqs[idx], st)
+		return idx, reqs[idx].Status(), nil
+	}
+	op := &WaitanyOp{Reqs: reqs, Blocking: true, ForceIndex: -1}
+	if h.PreWaitany != nil {
+		h.PreWaitany(p, op)
+	}
+	var idx int
+	var st Status
+	var err error
+	if f := op.ForceIndex; f >= 0 && f < len(reqs) && reqs[f] != nil && !reqs[f].consumed {
+		// Forced completion: wait on that specific request. The force is only
+		// ever derived from a recorded run in which this request had already
+		// completed at this point, so the wait terminates in any execution
+		// that reproduced the prefix.
+		st, err = p.pmpi.Wait(reqs[f])
+		idx = f
+	} else {
+		idx, st, err = p.pmpi.Waitany(reqs)
+	}
 	if err != nil {
-		return idx, st, err
+		return -1, Status{}, err
 	}
 	p.observeCompletion(reqs[idx], st)
+	if h.PostWaitany != nil {
+		h.PostWaitany(p, op, idx, reqs[idx].Status())
+	}
 	return idx, reqs[idx].Status(), nil
 }
 
@@ -312,6 +339,16 @@ func (p *Proc) Iprobe(src, tag int, c Comm) (Status, bool, error) {
 	st, found, err := p.pmpi.Iprobe(op.Src, op.Tag, op.Comm)
 	if err != nil {
 		return st, found, err
+	}
+	if found && op.SuppressFound {
+		// A PreProbe hook forced this poll's not-found outcome (guided replay
+		// of an Iprobe choice point): the message stays queued, the
+		// application sees nothing, and the tool still observes the real
+		// outcome so it can record the forced decision.
+		if h.PostProbe != nil {
+			h.PostProbe(p, op, st, true)
+		}
+		return Status{}, false, nil
 	}
 	if h.PostProbe != nil {
 		h.PostProbe(p, op, st, found)

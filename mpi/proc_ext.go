@@ -56,6 +56,26 @@ func (p *Proc) Testany(reqs []*Request) (int, Status, bool, error) {
 	if h != nil && h.PreWait != nil {
 		h.PreWait(p, reqs)
 	}
+	var op *WaitanyOp
+	if h != nil && (h.PreWaitany != nil || h.PostWaitany != nil) {
+		op = &WaitanyOp{Reqs: reqs, ForceIndex: -1}
+		if h.PreWaitany != nil {
+			h.PreWaitany(p, op)
+		}
+		if f := op.ForceIndex; f >= 0 && f < len(reqs) && reqs[f] != nil && !reqs[f].consumed {
+			// Forced completion (guided replay): the recorded run observed
+			// this request ready here, so waiting for it terminates.
+			st, err := p.pmpi.Wait(reqs[f])
+			if err != nil {
+				return -1, Status{}, false, err
+			}
+			p.observeCompletion(reqs[f], st)
+			if h.PostWaitany != nil {
+				h.PostWaitany(p, op, f, reqs[f].Status())
+			}
+			return f, reqs[f].Status(), true, nil
+		}
+	}
 	var req *Request
 	idx := -1
 	for i, r := range reqs {
@@ -69,6 +89,9 @@ func (p *Proc) Testany(reqs []*Request) (int, Status, bool, error) {
 	}
 	req.consumed = true
 	p.observeCompletion(req, req.status)
+	if op != nil && h.PostWaitany != nil {
+		h.PostWaitany(p, op, idx, req.Status())
+	}
 	return idx, req.Status(), true, nil
 }
 

@@ -79,6 +79,15 @@ func (r *Request) Release() {
 // Status returns the completion status; valid only after Wait/Test.
 func (r *Request) Status() Status { return r.status }
 
+// CompletedPending reports whether the request has completed but no
+// Wait/Test has consumed the completion yet — i.e. it was an eligible
+// answer for a Waitany/Testany at the moment of the call. Owner-goroutine
+// only (consumed is unsynchronized); tool layers use it to enumerate the
+// alternate outcomes of a completion choice point.
+func (r *Request) CompletedPending() bool {
+	return !r.consumed && r.done.Load()
+}
+
 func (r *Request) String() string {
 	return fmt.Sprintf("Request(%s #%d peer=%d tag=%d %s)", r.kind, r.id, r.peer, r.tag, r.comm)
 }

@@ -54,9 +54,10 @@ type ClusterConfig struct {
 }
 
 // explorerConfig translates the public Config to the core form (program may
-// be nil on the coordinator, which never replays).
-func (cfg *ClusterConfig) explorerConfig(program func(p *mpi.Proc) error) core.ExplorerConfig {
-	return core.ExplorerConfig{
+// be nil on the coordinator, which never replays), including the
+// choice-point and schedule-sampling configuration.
+func (cfg *ClusterConfig) explorerConfig(program func(p *mpi.Proc) error) (core.ExplorerConfig, error) {
+	ecfg := core.ExplorerConfig{
 		Procs:             cfg.Procs,
 		Program:           program,
 		Clock:             cfg.Clock,
@@ -65,13 +66,20 @@ func (cfg *ClusterConfig) explorerConfig(program func(p *mpi.Proc) error) core.E
 		AutoLoopThreshold: cfg.AutoLoopThreshold,
 		MixingBound:       cfg.MixingBound,
 	}
+	if err := cfg.configureSampling(&ecfg); err != nil {
+		return core.ExplorerConfig{}, err
+	}
+	return ecfg, nil
 }
 
 // fingerprint derives the compatibility fingerprint both Serve and Join
 // exchange in the handshake.
-func (cfg *ClusterConfig) fingerprint() dcoord.Fingerprint {
-	ecfg := cfg.explorerConfig(nil)
-	return dcoord.FingerprintFor(cfg.Workload, &ecfg)
+func (cfg *ClusterConfig) fingerprint() (dcoord.Fingerprint, error) {
+	ecfg, err := cfg.explorerConfig(nil)
+	if err != nil {
+		return dcoord.Fingerprint{}, err
+	}
+	return dcoord.FingerprintFor(cfg.Workload, &ecfg), nil
 }
 
 // Coordinator is the coordinator side of a distributed verification. It owns
@@ -107,8 +115,12 @@ func Serve(cfg ClusterConfig) (*Coordinator, error) {
 	if cfg.Resume && cfg.CheckpointFile == "" {
 		return nil, fmt.Errorf("verify: Resume requires CheckpointFile")
 	}
+	fp, err := cfg.fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	dcfg := dcoord.Config{
-		Fingerprint:      cfg.fingerprint(),
+		Fingerprint:      fp,
 		MaxInterleavings: cfg.MaxInterleavings,
 		StopOnFirstError: cfg.StopOnFirstError,
 		LeaseTTL:         cfg.LeaseTTL,
@@ -186,12 +198,20 @@ func Join(cfg ClusterConfig, program func(p *mpi.Proc) error) (*Worker, error) {
 	if cfg.Workload == "" {
 		return nil, fmt.Errorf("verify: distributed verification requires a Workload name")
 	}
+	fp, err := cfg.fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	ecfg, err := cfg.explorerConfig(program)
+	if err != nil {
+		return nil, err
+	}
 	w := dcoord.NewWorker(dcoord.WorkerConfig{
 		Addr:        cfg.Addr,
 		Name:        cfg.WorkerName,
 		Slots:       cfg.Slots,
-		Fingerprint: cfg.fingerprint(),
-		Explorer:    cfg.explorerConfig(program),
+		Fingerprint: fp,
+		Explorer:    ecfg,
 		Scale:       cfg.Scale,
 		Iters:       cfg.Iters,
 		OnEvent:     cfg.OnEvent,

@@ -25,6 +25,7 @@ import (
 	"dampi/internal/core"
 	"dampi/internal/dexplore"
 	"dampi/internal/leak"
+	"dampi/internal/sample"
 	"dampi/internal/trace"
 	"dampi/mpi"
 )
@@ -151,6 +152,64 @@ type Config struct {
 	// disables pruning for the rest of the exploration and is surfaced via
 	// Result.PruneViolations. Nil verifies without static pruning.
 	PruneHints *PruneHints
+	// Mode selects the exploration mode: ModeExhaustive ("" or "exhaustive",
+	// the default full DFS) or ModeSample ("sample", seeded schedule
+	// sampling: exhaustive below SampleDepth, seeded walks beyond).
+	Mode string
+	// ChoicePoints records and replays Waitany/Waitsome/Testany completion
+	// indexes and Iprobe found/not-found outcomes as first-class decision
+	// points, enlarging the explored space beyond wildcard sources. Off by
+	// default (existing verdicts and reports are byte-identical); forced on
+	// in sample mode, whose walks need the enlarged space.
+	ChoicePoints bool
+	// SampleStrategy selects the sampling policy in sample mode: "random"
+	// (default, uniform random walk) or "pct" (PCT-style priority schedules).
+	SampleStrategy string
+	// Samples is the sampled-schedule budget in sample mode (default 1).
+	Samples int
+	// Seed derives the sampled schedules; the same seed always reproduces
+	// the identical schedule set and report.
+	Seed uint64
+	// SampleDepth is the flip-tree depth below which sample mode still
+	// expands exhaustively ("exhaustive below depth d, sampled beyond").
+	// 0 samples from the root.
+	SampleDepth int
+}
+
+// Exploration modes for Config.Mode.
+const (
+	ModeExhaustive = "exhaustive"
+	ModeSample     = "sample"
+)
+
+// configureSampling applies the Mode/ChoicePoints/sampling fields of cfg to
+// an explorer configuration: choice-point recording, the depth bound, and
+// (in sample mode) the seeded sampler. Both the local engines and the
+// cluster layer derive their configurations through this one function.
+func (cfg *Config) configureSampling(ecfg *core.ExplorerConfig) error {
+	ecfg.ChoicePoints = cfg.ChoicePoints
+	ecfg.SampleDepth = cfg.SampleDepth
+	switch cfg.Mode {
+	case "", ModeExhaustive:
+		return nil
+	case ModeSample:
+	default:
+		return fmt.Errorf("verify: unknown Mode %q (want %q or %q)", cfg.Mode, ModeExhaustive, ModeSample)
+	}
+	// Sampling walks flip completion and probe outcomes too; without choice
+	// points the sampled space would silently shrink to wildcard sources.
+	ecfg.ChoicePoints = true
+	strat, err := sample.ParseStrategy(cfg.SampleStrategy)
+	if err != nil {
+		return err
+	}
+	ecfg.Sampler = sample.New(sample.Config{
+		Strategy: strat,
+		Samples:  cfg.Samples,
+		Seed:     cfg.Seed,
+		Procs:    cfg.Procs,
+	})
+	return nil
 }
 
 // PruneHints is a static prune-hint table shared by all replay workers.
@@ -187,6 +246,9 @@ func (r *Result) Summary() string {
 		r.Interleavings, len(r.Errors), r.Deadlocks, r.WildcardsAnalyzed)
 	if r.Capped {
 		s += " (capped)"
+	}
+	if r.Sampled > 0 {
+		s += fmt.Sprintf(" sampled=%d distinct=%d", r.Sampled, r.SampledDistinct)
 	}
 	if r.StaticPruned > 0 || r.PruneDisabled {
 		s += fmt.Sprintf(" pruned(static)=%d", r.StaticPruned)
@@ -258,12 +320,22 @@ func Run(cfg Config, program func(p *mpi.Proc) error) (*Result, error) {
 		ExtraHooks:        extra,
 		OnInterleaving:    cfg.OnInterleaving,
 	}
+	if err := cfg.configureSampling(&ecfg); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if ecfg.Sampler != nil && workers < 1 {
+		// Sampling lives at the task-expansion seam; the legacy serial
+		// explorer predates it, so serial sample runs route through the
+		// parallel engine with one worker (same determinism, same report).
+		workers = 1
+	}
 	var rep *core.Report
 	var err error
-	if cfg.Workers > 0 {
+	if workers > 0 {
 		dcfg := dexplore.Config{
 			Explorer:        ecfg,
-			Workers:         cfg.Workers,
+			Workers:         workers,
 			CheckpointPath:  cfg.CheckpointFile,
 			CheckpointEvery: cfg.CheckpointEvery,
 			OnProgress:      cfg.OnProgress,
@@ -333,5 +405,22 @@ func Replay(procs int, program func(p *mpi.Proc) error, d *Decisions) (*Interlea
 		return nil, fmt.Errorf("verify: nil program")
 	}
 	_, res, err := core.Replay(core.ExplorerConfig{Procs: procs, Program: program}, d)
+	return res, err
+}
+
+// ReplayChoicePoints replays one decision vector with the enlarged
+// choice-point space enabled: reproducers recorded by -choice-points or
+// schedule-sampling runs encode Waitany/Testany completion indexes and
+// Iprobe outcome suppressions, and those decisions only re-apply when the
+// replaying tool tracks the same epochs. Plain Replay would silently take
+// the natural outcomes and report the buggy schedule as clean.
+func ReplayChoicePoints(procs int, program func(p *mpi.Proc) error, d *Decisions) (*InterleavingResult, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("verify: Replay procs must be >= 1, got %d", procs)
+	}
+	if program == nil {
+		return nil, fmt.Errorf("verify: nil program")
+	}
+	_, res, err := core.Replay(core.ExplorerConfig{Procs: procs, Program: program, ChoicePoints: true}, d)
 	return res, err
 }

@@ -1,0 +1,90 @@
+// Package iprobe is a polling master/worker workload built so that its
+// seeded bug is reachable only through a specific Iprobe outcome sequence —
+// the schedule-sampling demo. The worker announces READY and then SYNC; the
+// master receives SYNC first (so READY is already pending at every poll) and
+// then polls Iprobe for READY a bounded number of times before giving up.
+// Under plain execution every poll finds the message, so the give-up path is
+// dead code; it only fires when the verifier forces the "not found" outcome
+// at every poll, which requires Polls consecutive Iprobe choice-point flips.
+//
+// Default exhaustive exploration never branches on Iprobe outcomes (the
+// report is clean), and a depth-bounded exhaustive pass below depth Polls
+// cannot stack enough suppressions; a seeded sampling run whose walks take at
+// least Polls steps (`-sample random -samples 24`) drives every walk straight
+// down the all-suppressed chain and reports the bug with its reproducer.
+package iprobe
+
+import (
+	"fmt"
+
+	"dampi/mpi"
+)
+
+// Config tunes the workload.
+type Config struct {
+	// Polls is how often the master polls for READY before abandoning the
+	// worker (default 3). The bug needs Polls consecutive suppressed polls.
+	Polls int
+}
+
+// Message tags.
+const (
+	tagReady = 1 // worker → master: "I have a result"
+	tagSync  = 2 // worker → master: phase barrier; orders READY before the polls
+	tagDone  = 3 // master → worker: shutdown
+)
+
+// MinProcs is the smallest world size the program supports.
+const MinProcs = 2
+
+// Program builds the polling master/worker program.
+func Program(cfg Config) func(p *mpi.Proc) error {
+	polls := cfg.Polls
+	if polls <= 0 {
+		polls = 3
+	}
+	return func(p *mpi.Proc) error {
+		c := p.CommWorld()
+		if p.Size() < MinProcs {
+			return fmt.Errorf("iprobe: need at least %d ranks, got %d", MinProcs, p.Size())
+		}
+		switch p.Rank() {
+		case 0:
+			// The SYNC receive orders the worker's READY send strictly before
+			// the poll loop: READY is pending (and late, in Lamport terms) at
+			// every poll, so each poll is a genuine found/not-found choice
+			// point rather than a race on message arrival.
+			if _, _, err := p.Recv(1, tagSync, c); err != nil {
+				return err
+			}
+			for i := 0; i < polls; i++ {
+				_, found, err := p.Iprobe(1, tagReady, c)
+				if err != nil {
+					return err
+				}
+				if found {
+					if _, _, err := p.Recv(1, tagReady, c); err != nil {
+						return err
+					}
+					return p.Send(1, tagDone, nil, c)
+				}
+			}
+			// The seeded bug: the master abandons a worker whose READY is
+			// sitting in the queue, leaving it blocked on tagDone forever in a
+			// real deployment. Reachable only when all Polls polls report "not
+			// found".
+			return fmt.Errorf("iprobe: master abandoned worker 1 after %d polls with READY pending", polls)
+		case 1:
+			if err := p.Send(0, tagReady, mpi.EncodeFloat64(42), c); err != nil {
+				return err
+			}
+			if err := p.Send(0, tagSync, nil, c); err != nil {
+				return err
+			}
+			if _, _, err := p.Recv(0, tagDone, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dampi/mpi"
 	"dampi/workloads/adlb"
 	"dampi/workloads/fanin"
+	"dampi/workloads/iprobe"
 	"dampi/workloads/matmul"
 	"dampi/workloads/nas"
 	"dampi/workloads/parmetis"
@@ -120,6 +121,13 @@ func init() {
 		Description: "control/data fan-in with a statically deterministic wildcard (static prune-hint demo)",
 		Program: func(p Params) func(*mpi.Proc) error {
 			return fanin.Program(fanin.Config{})
+		},
+	})
+	register(&Workload{
+		Name: "iprobe", Suite: "paper", MinProcs: iprobe.MinProcs,
+		Description: "polling master/worker with an Iprobe-outcome bug (schedule-sampling demo)",
+		Program: func(p Params) func(*mpi.Proc) error {
+			return iprobe.Program(iprobe.Config{})
 		},
 	})
 	register(&Workload{
